@@ -1,0 +1,61 @@
+"""Regenerates the paper's specification-conciseness comparison.
+
+Paper claims (Abstract, Sections 1-2, 4): a Narada-style mesh in 16 OverLog
+rules; full Chord in 47 rules; versus MACEDON's 320+ statement (and less
+complete) Chord and the MIT implementation's thousands of lines of C++.
+
+This benchmark measures the same quantities for the artifacts in this
+repository: the shipped OverLog specifications and the hand-coded Python
+Chord baseline, and times how long it takes P2 to turn the Chord spec into a
+running dataflow (the "cost" of conciseness).
+"""
+
+from conftest import record
+
+from repro.baselines import conciseness_table, format_table
+from repro.dataflow import Host
+from repro.overlays import chord, narada
+from repro.overlog.builtins import make_builtins
+from repro.planner import Planner
+from repro.tables import TableStore
+
+
+def test_conciseness_table(benchmark):
+    sizes = benchmark.pedantic(conciseness_table, rounds=1, iterations=1)
+    by_name = {s.name: s for s in sizes}
+
+    lines = format_table(sizes).splitlines()
+    lines.append("")
+    lines.append("this reproduction:")
+    lines.append(f"  Chord rules        : {by_name['Chord (OverLog)'].rules} (paper: 47)")
+    lines.append(f"  Narada mesh rules  : {by_name['Narada mesh (OverLog)'].rules} (paper: 16)")
+    ratio = by_name["Chord (hand-coded)"].lines / max(by_name["Chord (OverLog)"].lines, 1)
+    lines.append(
+        f"  hand-coded Chord is {ratio:.1f}x more source lines than the OverLog spec"
+    )
+    record("conciseness_table", lines)
+
+    assert by_name["Chord (OverLog)"].rules <= 50
+    assert by_name["Narada mesh (OverLog)"].rules <= 25
+    assert ratio > 2.0
+
+
+def test_spec_to_dataflow_compilation(benchmark):
+    """Time the OverLog → dataflow pipeline for both headline overlays."""
+    host = Host(address="n1", builtins=make_builtins())
+
+    def compile_both():
+        a = Planner(chord.chord_program(), host, TableStore()).compile()
+        b = Planner(narada.narada_program(), host, TableStore()).compile()
+        return a, b
+
+    compiled_chord, compiled_narada = benchmark(compile_both)
+    record(
+        "compiled_dataflow_sizes",
+        [
+            f"Chord dataflow elements  : {len(compiled_chord.graph)}",
+            f"Chord rule strands       : {len(compiled_chord.all_strands())}",
+            f"Narada dataflow elements : {len(compiled_narada.graph)}",
+            f"Narada rule strands      : {len(compiled_narada.all_strands())}",
+        ],
+    )

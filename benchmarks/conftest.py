@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows of the paper figure it regenerates and also
+appends them to ``benchmarks/output/<name>.txt`` so the numbers recorded in
+EXPERIMENTS.md can be reproduced and diffed.
+"""
+
+import os
+import sys
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+
+def record(name: str, lines) -> None:
+    """Print figure rows and persist them under benchmarks/output/."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n===== {name} =====")
+    print(text)
+    with open(os.path.join(OUTPUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")

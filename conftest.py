@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree package importable without installation.
+
+``pip install -e .`` is still the recommended route; this keeps the test and
+benchmark suites runnable in environments where an editable install is not
+possible (e.g. offline machines without the ``wheel`` package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

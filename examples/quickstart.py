@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: write a tiny overlay in OverLog and run it on simulated nodes.
+
+This is the "hello world" of the P2 reproduction: a four-rule ping/pong
+overlay in which every node periodically measures its round-trip latency to
+every peer it knows about.  It shows the whole pipeline — OverLog source →
+parser → planner → per-node dataflow → simulated network — in ~40 lines.
+
+Run:  python examples/quickstart.py [--nodes 5] [--seconds 20]
+"""
+
+import argparse
+
+from repro import OverlaySimulation, Tuple
+from repro.net import TransitStubTopology
+
+OVERLOG = """
+materialize(peer,    infinity, infinity, keys(2)).
+materialize(latency, infinity, infinity, keys(2)).
+
+P0 pingEvent@X(X, E) :- periodic@X(X, E, 2).
+P1 ping@Y(Y, X, T)   :- pingEvent@X(X, E), peer@X(X, Y), T := f_now().
+P2 pong@X(X, Y, T)   :- ping@Y(Y, X, T).
+P3 latency@X(X, Y, D) :- pong@X(X, Y, T), D := f_now() - T.
+"""
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=5, help="number of simulated nodes")
+    parser.add_argument("--seconds", type=float, default=20.0, help="simulated run time")
+    args = parser.parse_args()
+
+    # One OverLog program, N nodes, an Emulab-style transit-stub topology.
+    sim = OverlaySimulation(OVERLOG, topology=TransitStubTopology(domains=3), seed=1)
+    nodes = [sim.add_node() for _ in range(args.nodes)]
+
+    # Applications feed base facts into a node by injecting tuples: here,
+    # every node learns about every other node as a peer.
+    for a in nodes:
+        for b in nodes:
+            if a is not b:
+                a.inject(Tuple.make("peer", a.address, b.address))
+
+    # Show the dataflow the planner generated for one node.
+    print("=== compiled dataflow (node-1) ===")
+    print(nodes[0].describe_dataflow())
+
+    sim.run_for(args.seconds)
+
+    print(f"\n=== measured round-trip latencies after {args.seconds:.0f}s ===")
+    for node in nodes:
+        for row in sorted(node.scan("latency"), key=lambda r: r[1]):
+            print(f"  {node.address:8s} -> {row[1]:8s}  {row[2] * 1000:7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — a Python reproduction of P2, "Implementing Declarative Overlays" (SOSP 2005).
+
+The package provides:
+
+* :mod:`repro.overlog` — the OverLog language (parser, AST, built-ins);
+* :mod:`repro.planner` — compilation of OverLog rules into dataflow strands;
+* :mod:`repro.dataflow` — Click/P2-style dataflow elements;
+* :mod:`repro.tables` — soft-state tables;
+* :mod:`repro.pel` — the PEL expression byte-code compiler and VM;
+* :mod:`repro.runtime` — per-node execution engine and overlay simulation API;
+* :mod:`repro.net` / :mod:`repro.sim` — simulated network and discrete-event loop;
+* :mod:`repro.overlays` — ready-made OverLog specifications (Chord, Narada, gossip);
+* :mod:`repro.baselines` — hand-coded comparators (imperative Chord).
+
+Quickstart::
+
+    from repro import OverlaySimulation
+    from repro.overlays import chord
+
+    sim = chord.build_chord_simulation(num_nodes=32, seed=1)
+    sim.run_for(120)
+    ring = chord.ring_order(sim)
+"""
+
+from .core import IdSpace, Tuple
+from .runtime import OverlaySimulation, P2Node, transit_stub_simulation
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Tuple",
+    "IdSpace",
+    "P2Node",
+    "OverlaySimulation",
+    "transit_stub_simulation",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Result analysis helpers: CDFs, histograms, and table formatting for benches."""
+
+from .stats import cdf, histogram, percentile, format_cdf_rows, format_histogram_rows, summarize
+
+__all__ = [
+    "cdf",
+    "histogram",
+    "percentile",
+    "format_cdf_rows",
+    "format_histogram_rows",
+    "summarize",
+]

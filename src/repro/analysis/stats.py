@@ -1,0 +1,81 @@
+"""Small statistics helpers used by the benchmark harness.
+
+The paper's figures are hop-count histograms and latency/consistency CDFs;
+these helpers turn raw measurement lists into the rows the harness prints, so
+every benchmark reports data in the same shape as the corresponding figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The *fraction*-th percentile (0..1) using linear interpolation."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be within [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def cdf(values: Sequence[float], points: int = 20) -> List[Tuple[float, float]]:
+    """An empirical CDF sampled at *points* evenly spaced cumulative fractions."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    out: List[Tuple[float, float]] = []
+    for i in range(1, points + 1):
+        fraction = i / points
+        out.append((percentile(ordered, fraction), fraction))
+    return out
+
+
+def histogram(values: Sequence[float], bins: Iterable[float]) -> Dict[float, float]:
+    """Frequency (fraction of samples) falling at each integer/bin value."""
+    values = list(values)
+    if not values:
+        return {b: 0.0 for b in bins}
+    counts: Dict[float, int] = {b: 0 for b in bins}
+    for v in values:
+        bucket = min(bins, key=lambda b: (abs(b - v), b))
+        counts[bucket] += 1
+    return {b: counts[b] / len(values) for b in counts}
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / median / p95 / min / max summary used in EXPERIMENTS.md tables."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "median": 0.0, "p95": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": len(values),
+        "mean": sum(values) / len(values),
+        "median": percentile(values, 0.5),
+        "p95": percentile(values, 0.95),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def format_histogram_rows(freqs: Dict[float, float], label: str = "value") -> List[str]:
+    rows = [f"{label:>10s}  frequency"]
+    for key in sorted(freqs):
+        rows.append(f"{key:10.0f}  {freqs[key]:.3f}")
+    return rows
+
+
+def format_cdf_rows(points: Sequence[Tuple[float, float]], label: str = "value") -> List[str]:
+    rows = [f"{label:>12s}  cumulative fraction"]
+    for value, fraction in points:
+        rows.append(f"{value:12.3f}  {fraction:.3f}")
+    return rows

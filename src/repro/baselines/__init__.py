@@ -1,0 +1,19 @@
+"""Comparison baselines: a hand-coded Chord and code-size accounting."""
+
+from .chord_handcoded import (
+    HandCodedChordNetwork,
+    HandCodedChordNode,
+    build_handcoded_chord,
+)
+from .codesize import SpecSize, conciseness_table, format_table, overlog_size, python_size
+
+__all__ = [
+    "HandCodedChordNode",
+    "HandCodedChordNetwork",
+    "build_handcoded_chord",
+    "SpecSize",
+    "overlog_size",
+    "python_size",
+    "conciseness_table",
+    "format_table",
+]

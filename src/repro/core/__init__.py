@@ -1,0 +1,35 @@
+"""Core data model of the P2 reproduction: values, tuples, identifiers, errors."""
+
+from .errors import (
+    DataflowError,
+    NetworkError,
+    P2Error,
+    ParseError,
+    PELError,
+    PlannerError,
+    SimulationError,
+    TableError,
+    TupleError,
+    ValueError_,
+)
+from .idspace import DEFAULT_BITS, IdSpace
+from .tuples import Tuple, fresh_tuple_id
+from . import values
+
+__all__ = [
+    "DataflowError",
+    "NetworkError",
+    "P2Error",
+    "ParseError",
+    "PELError",
+    "PlannerError",
+    "SimulationError",
+    "TableError",
+    "TupleError",
+    "ValueError_",
+    "IdSpace",
+    "DEFAULT_BITS",
+    "Tuple",
+    "fresh_tuple_id",
+    "values",
+]

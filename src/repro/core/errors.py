@@ -1,0 +1,54 @@
+"""Exception hierarchy for the P2 reproduction.
+
+Every subsystem raises a subclass of :class:`P2Error` so applications can
+catch library failures without also catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class P2Error(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ValueError_(P2Error):
+    """A value could not be coerced or compared (type-system error)."""
+
+
+class TupleError(P2Error):
+    """Malformed tuple (wrong arity, bad field access)."""
+
+
+class TableError(P2Error):
+    """Table misuse: unknown table, bad key specification, bad index."""
+
+
+class ParseError(P2Error):
+    """OverLog source could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class PlannerError(P2Error):
+    """An OverLog program cannot be compiled to a dataflow."""
+
+
+class PELError(P2Error):
+    """PEL compilation or execution failure."""
+
+
+class DataflowError(P2Error):
+    """Dataflow graph construction or execution failure."""
+
+
+class NetworkError(P2Error):
+    """Simulated-network failure (unknown address, node down)."""
+
+
+class SimulationError(P2Error):
+    """Simulator misuse (time going backwards, unknown node, ...)."""

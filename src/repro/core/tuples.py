@@ -1,0 +1,120 @@
+"""Tuples: the unit of data transfer in P2.
+
+A :class:`Tuple` is an immutable, named vector of values.  The name is the
+relation (table or stream) the tuple belongs to — e.g. ``lookup`` or
+``succ`` — and the fields follow the positional convention of the paper: the
+first field is almost always the address of the node where the tuple lives
+(the location specifier ``@NI``).
+
+Tuples are immutable once created (the paper makes the same design decision,
+so that a tuple can be both stored and forwarded without copying); "modifying"
+a tuple means building a new one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence, Tuple as PyTuple
+
+from . import values
+from .errors import TupleError
+
+_tuple_counter = 0
+
+
+def fresh_tuple_id() -> int:
+    """Monotonically increasing tuple identifier (used for event IDs)."""
+    global _tuple_counter
+    _tuple_counter += 1
+    return _tuple_counter
+
+
+class Tuple:
+    """An immutable named tuple of P2 values.
+
+    Parameters
+    ----------
+    name:
+        Relation name, e.g. ``"lookup"``.
+    fields:
+        The values; coerced through :func:`repro.core.values.coerce`.
+    """
+
+    __slots__ = ("name", "fields", "_hash")
+
+    def __init__(self, name: str, fields: Sequence[Any] = ()):
+        if not name or not isinstance(name, str):
+            raise TupleError(f"tuple name must be a non-empty string, got {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "fields", tuple(values.coerce(f) for f in fields))
+        object.__setattr__(self, "_hash", None)
+
+    # -- construction helpers -------------------------------------------------
+    @classmethod
+    def make(cls, name: str, *fields: Any) -> "Tuple":
+        """Convenience constructor: ``Tuple.make("succ", ni, s, si)``."""
+        return cls(name, fields)
+
+    def rename(self, name: str) -> "Tuple":
+        """Return a copy of this tuple under a different relation name."""
+        return Tuple(name, self.fields)
+
+    def append(self, *extra: Any) -> "Tuple":
+        """Return a new tuple with *extra* values appended."""
+        return Tuple(self.name, self.fields + tuple(values.coerce(x) for x in extra))
+
+    def project(self, positions: Sequence[int], name: Optional[str] = None) -> "Tuple":
+        """Return a new tuple holding the fields at *positions* (0-based)."""
+        try:
+            fields = tuple(self.fields[p] for p in positions)
+        except IndexError:
+            raise TupleError(
+                f"projection positions {positions} out of range for arity {len(self.fields)}"
+            ) from None
+        return Tuple(name or self.name, fields)
+
+    # -- immutability ----------------------------------------------------------
+    def __setattr__(self, key: str, value: Any) -> None:
+        raise TupleError("tuples are immutable")
+
+    # -- accessors -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.fields)
+
+    def __getitem__(self, idx: int) -> Any:
+        try:
+            return self.fields[idx]
+        except IndexError:
+            raise TupleError(
+                f"field {idx} out of range for {self.name!r} (arity {len(self.fields)})"
+            ) from None
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.fields)
+
+    def key(self, positions: Iterable[int]) -> PyTuple[Any, ...]:
+        """Return the sub-tuple of fields at *positions* (used as index keys)."""
+        return tuple(self.fields[p] for p in positions)
+
+    # -- equality / hashing ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Tuple)
+            and self.name == other.name
+            and self.fields == other.fields
+        )
+
+    def __hash__(self) -> int:
+        h = object.__getattribute__(self, "_hash")
+        if h is None:
+            h = hash((self.name, self.fields))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    # -- sizing / display --------------------------------------------------------
+    def estimate_size(self) -> int:
+        """Approximate marshaled size in bytes (name + fields)."""
+        return 4 + len(self.name) + sum(values.estimate_size(f) for f in self.fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(values.to_str(f) for f in self.fields)
+        return f"{self.name}({inner})"

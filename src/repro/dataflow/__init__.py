@@ -1,0 +1,45 @@
+"""Dataflow framework: Click/P2-style elements, glue, and relational operators."""
+
+from .aggregates import AGGREGATES, get_aggregate
+from .element import Callback, Discard, Element, ElementStats, Graph, Sink
+from .flow import Demux, Dup, Filter, Mux, Queue, RoundRobin, TimedPullPush
+from .operators import (
+    Aggregate,
+    AntiJoin,
+    Assign,
+    Delete,
+    Host,
+    Insert,
+    LookupJoin,
+    PelElement,
+    Project,
+    Select,
+)
+
+__all__ = [
+    "Element",
+    "ElementStats",
+    "Graph",
+    "Sink",
+    "Callback",
+    "Discard",
+    "Queue",
+    "Dup",
+    "Mux",
+    "Demux",
+    "RoundRobin",
+    "TimedPullPush",
+    "Filter",
+    "Select",
+    "Assign",
+    "Project",
+    "LookupJoin",
+    "AntiJoin",
+    "Aggregate",
+    "Insert",
+    "Delete",
+    "Host",
+    "PelElement",
+    "AGGREGATES",
+    "get_aggregate",
+]

@@ -1,0 +1,186 @@
+"""Glue elements: queues, multiplexing, duplication, and timed transfer.
+
+These are the "general-purpose" elements of Section 3.4: they move tuples
+between rule strands, the network stack, and the local tables, without doing
+relational work themselves.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Iterable, List, Optional
+
+from ..core.errors import DataflowError
+from ..core.tuples import Tuple
+from .element import Element
+
+
+class Queue(Element):
+    """A FIFO queue with optional capacity.
+
+    Pushes beyond capacity drop the newest tuple and count it — P2 queues
+    normally *block* instead, but blocking cannot deadlock here because strand
+    execution is run-to-completion; a large default capacity plus drop
+    accounting gives the same observable behaviour while keeping the element
+    simple and safe.
+    """
+
+    kind = "queue"
+
+    def __init__(self, capacity: int = 10_000, name: str = "queue"):
+        super().__init__(name)
+        if capacity < 1:
+            raise DataflowError("queue capacity must be positive")
+        self.capacity = capacity
+        self._items: Deque[Tuple] = deque()
+
+    def push(self, tup: Tuple, port: int = 0) -> None:
+        self.stats.pushed_in += 1
+        if len(self._items) >= self.capacity:
+            self.stats.dropped += 1
+            return
+        self._items.append(tup)
+
+    def pull(self, port: int = 0) -> Optional[Tuple]:
+        if not self._items:
+            return None
+        self.stats.emitted += 1
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Dup(Element):
+    """Duplicates every input tuple to all connected output ports.
+
+    The Chord dataflow in Figure 2 uses this so a single ``lookup`` tuple can
+    feed both rule L1 and rule L2.
+    """
+
+    kind = "dup"
+
+    def push(self, tup: Tuple, port: int = 0) -> None:
+        self.stats.pushed_in += 1
+        for output_port in sorted(self._outputs):
+            for downstream, in_port in self._outputs[output_port]:
+                self.stats.emitted += 1
+                downstream.push(tup, in_port)
+
+
+class Mux(Element):
+    """Merges several inputs onto one output (pure pass-through)."""
+
+    kind = "mux"
+
+
+class Demux(Element):
+    """Routes tuples by relation name, like the big demultiplexer of Figure 2.
+
+    Consumers register interest in a name with :meth:`register`; unclaimed
+    tuples go to the default output (if set) or are counted as dropped.
+    """
+
+    kind = "demux"
+
+    def __init__(self, name: str = "demux"):
+        super().__init__(name)
+        self._routes: Dict[str, List[Element]] = {}
+        self._default: Optional[Element] = None
+
+    def register(self, relation: str, downstream: Element) -> None:
+        self._routes.setdefault(relation, []).append(downstream)
+
+    def set_default(self, downstream: Element) -> None:
+        self._default = downstream
+
+    def routes(self, relation: str) -> List[Element]:
+        return list(self._routes.get(relation, ()))
+
+    def push(self, tup: Tuple, port: int = 0) -> None:
+        self.stats.pushed_in += 1
+        targets = self._routes.get(tup.name)
+        if not targets:
+            if self._default is not None:
+                self.stats.emitted += 1
+                self._default.push(tup)
+            else:
+                self.stats.dropped += 1
+            return
+        for target in targets:
+            self.stats.emitted += 1
+            target.push(tup)
+
+
+class RoundRobin(Element):
+    """Pulls from its inputs in order, one tuple per pull.
+
+    Used on the output side of the node graph (Figure 2) to merge per-rule
+    output queues fairly before the network stack.
+    """
+
+    kind = "round-robin"
+
+    def __init__(self, name: str = "round-robin"):
+        super().__init__(name)
+        self._sources: List[Element] = []
+        self._next = 0
+
+    def add_source(self, source: Element) -> None:
+        self._sources.append(source)
+
+    def pull(self, port: int = 0) -> Optional[Tuple]:
+        if not self._sources:
+            return None
+        for _ in range(len(self._sources)):
+            source = self._sources[self._next]
+            self._next = (self._next + 1) % len(self._sources)
+            tup = source.pull()
+            if tup is not None:
+                self.stats.emitted += 1
+                return tup
+        return None
+
+
+class TimedPullPush(Element):
+    """Pulls from an upstream element and pushes downstream.
+
+    ``period == 0`` means "drain whenever :meth:`run` is called", which is how
+    the node runtime empties its output queues at the end of every event; a
+    non-zero period is honoured by the hosting node, which schedules
+    :meth:`run` on its event loop.
+    """
+
+    kind = "timed-pull-push"
+
+    def __init__(self, source: Element, period: float = 0.0, name: str = "timed-pull-push"):
+        super().__init__(name)
+        self.source = source
+        self.period = period
+
+    def run(self, budget: int = 100_000) -> int:
+        """Drain up to *budget* tuples; returns how many were transferred."""
+        moved = 0
+        while moved < budget:
+            tup = self.source.pull()
+            if tup is None:
+                break
+            self.emit(tup)
+            moved += 1
+        return moved
+
+
+class Filter(Element):
+    """Keeps tuples for which *predicate* returns True (host-level filtering)."""
+
+    kind = "filter"
+
+    def __init__(self, predicate: Callable[[Tuple], bool], name: str = "filter"):
+        super().__init__(name)
+        self._predicate = predicate
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        if self._predicate(tup):
+            return (tup,)
+        self.stats.dropped += 1
+        return ()

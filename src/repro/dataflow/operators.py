@@ -1,0 +1,265 @@
+"""Relational dataflow operators.
+
+These are the database-flavoured elements of Section 3.4: selection,
+projection, assignment, stream-table equijoin, anti-join (negation), tuple
+aggregation, and the table bridge elements (Insert / Delete).  Each is
+parameterised by PEL programs produced by the planner and evaluates them
+against the tuples flowing through.
+
+Every operator needs a *host* to build evaluation contexts: the hosting node
+runtime (clock, RNG, address, identifier space, built-in registry).  Tests use
+a lightweight stand-in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence, Tuple as PyTuple
+
+from ..core import values
+from ..core.errors import DataflowError
+from ..core.idspace import IdSpace
+from ..core.tuples import Tuple
+from ..pel.program import Program
+from ..pel.vm import EvalContext, VM
+from ..tables.table import Table
+from .aggregates import EMPTY_GROUP_VALUE, get_aggregate
+from .element import Element
+
+
+class Host:
+    """Minimal host implementation (tests / standalone operator use)."""
+
+    def __init__(
+        self,
+        address: str = "local",
+        builtins: Optional[dict] = None,
+        idspace: Optional[IdSpace] = None,
+        clock: float = 0.0,
+        rng: Any = None,
+    ):
+        import random
+
+        self.address = address
+        self.builtins = builtins or {}
+        self.idspace = idspace or IdSpace()
+        self._clock = clock
+        self.rng = rng or random.Random(0)
+
+    def now(self) -> float:
+        return self._clock
+
+    def advance(self, dt: float) -> None:
+        self._clock += dt
+
+
+class PelElement(Element):
+    """Shared machinery for elements that evaluate PEL programs."""
+
+    def __init__(self, host: Any, name: str = ""):
+        super().__init__(name)
+        self.host = host
+
+    def _context(self, fields: Sequence[Any]) -> EvalContext:
+        return EvalContext(
+            fields=fields,
+            builtins=getattr(self.host, "builtins", {}),
+            node=self.host,
+            idspace=getattr(self.host, "idspace", None),
+        )
+
+    def _eval(self, program: Program, fields: Sequence[Any]) -> Any:
+        return VM.execute(program, self._context(fields))
+
+
+class Select(PelElement):
+    """Drops tuples for which the boolean PEL program evaluates to false."""
+
+    kind = "select"
+
+    def __init__(self, host: Any, program: Program, name: str = "select"):
+        super().__init__(host, name)
+        self.program = program
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        if values.to_bool(self._eval(self.program, tup.fields)):
+            return (tup,)
+        self.stats.dropped += 1
+        return ()
+
+
+class Assign(PelElement):
+    """Appends the value of a PEL expression as a new field (``X := expr``)."""
+
+    kind = "assign"
+
+    def __init__(self, host: Any, program: Program, name: str = "assign"):
+        super().__init__(host, name)
+        self.program = program
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        return (tup.append(self._eval(self.program, tup.fields)),)
+
+
+class Project(PelElement):
+    """Builds the head tuple: one PEL program per output field."""
+
+    kind = "project"
+
+    def __init__(
+        self,
+        host: Any,
+        programs: Sequence[Program],
+        output_name: str,
+        name: str = "project",
+    ):
+        super().__init__(host, name)
+        self.programs = list(programs)
+        self.output_name = output_name
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        fields = [self._eval(p, tup.fields) for p in self.programs]
+        return (Tuple(self.output_name, fields),)
+
+
+class LookupJoin(PelElement):
+    """Equijoin of the incoming (binding) tuple stream against a stored table.
+
+    For each input tuple the element computes a key with ``key_programs``,
+    looks up matching table rows on ``table_positions`` (index-backed), and
+    emits the concatenation ``binding ++ row`` for every match.  This is the
+    workhorse of OverLog execution, as Section 2.5 argues.
+    """
+
+    kind = "join"
+
+    def __init__(
+        self,
+        host: Any,
+        table: Table,
+        table_positions: Sequence[int],
+        key_programs: Sequence[Program],
+        name: str = "join",
+    ):
+        super().__init__(host, name)
+        if len(table_positions) != len(key_programs):
+            raise DataflowError("join key positions and programs must align")
+        self.table = table
+        self.table_positions = list(table_positions)
+        self.key_programs = list(key_programs)
+
+    def matches(self, tup: Tuple) -> List[Tuple]:
+        now = self.host.now()
+        if not self.table_positions:
+            return self.table.scan(now)
+        key = [self._eval(p, tup.fields) for p in self.key_programs]
+        return self.table.lookup(self.table_positions, key, now)
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        out = []
+        for row in self.matches(tup):
+            out.append(Tuple(tup.name, tuple(tup.fields) + tuple(row.fields)))
+        if not out:
+            self.stats.dropped += 1
+        return out
+
+
+class AntiJoin(LookupJoin):
+    """Negation: passes the binding tuple through only when the table has
+    *no* matching row (``not member@Y(...)`` in the Narada rules)."""
+
+    kind = "antijoin"
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        if self.matches(tup):
+            self.stats.dropped += 1
+            return ()
+        return (tup,)
+
+
+class Aggregate(Element):
+    """Per-event aggregation over a batch of projected head tuples.
+
+    The strand collects every tuple produced for one triggering event and
+    calls :meth:`aggregate`.  Grouping is by the non-aggregate head positions;
+    each aggregate position is replaced by the aggregate of its group.  A
+    ``count`` aggregate over an empty batch emits 0 when the caller supplies a
+    fallback row (the paper's Narada rules R5–R7 depend on this).
+    """
+
+    kind = "aggregate"
+
+    def __init__(
+        self,
+        group_positions: Sequence[int],
+        agg_specs: Sequence[PyTuple[int, str]],
+        name: str = "aggregate",
+    ):
+        super().__init__(name)
+        self.group_positions = list(group_positions)
+        self.agg_specs = list(agg_specs)
+
+    def aggregate(self, batch: Sequence[Tuple], empty_fallback: Optional[Tuple] = None) -> List[Tuple]:
+        if not batch:
+            if empty_fallback is None:
+                return []
+            if all(func in EMPTY_GROUP_VALUE for _, func in self.agg_specs):
+                fields = list(empty_fallback.fields)
+                for pos, func in self.agg_specs:
+                    fields[pos] = EMPTY_GROUP_VALUE[func]
+                return [Tuple(empty_fallback.name, fields)]
+            return []
+        groups: "dict[tuple, List[Tuple]]" = {}
+        order: List[tuple] = []
+        for tup in batch:
+            key = tup.key(self.group_positions)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(tup)
+        out: List[Tuple] = []
+        for key in order:
+            rows = groups[key]
+            fields = list(rows[0].fields)
+            for pos, func in self.agg_specs:
+                fn = get_aggregate(func)
+                if func == "count":
+                    fields[pos] = fn([r.fields[pos] for r in rows])
+                else:
+                    fields[pos] = fn([r.fields[pos] for r in rows])
+            out.append(Tuple(rows[0].name, fields))
+        self.stats.emitted += len(out)
+        return out
+
+
+class Insert(Element):
+    """Stores incoming tuples in a table, then forwards them as deltas.
+
+    Forwarding-after-store is what drives table-delta rule strands (e.g. Chord
+    N1 ``succEvent :- succ``) and keeps soft state refreshed across rules.
+    """
+
+    kind = "insert"
+
+    def __init__(self, host: Any, table: Table, name: str = ""):
+        super().__init__(name or f"insert:{table.name}")
+        self.host = host
+        self.table = table
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        self.table.insert(tup, self.host.now())
+        return (tup,)
+
+
+class Delete(Element):
+    """Deletes the tuple's primary key from a table (``delete`` rules)."""
+
+    kind = "delete"
+
+    def __init__(self, host: Any, table: Table, name: str = ""):
+        super().__init__(name or f"delete:{table.name}")
+        self.host = host
+        self.table = table
+
+    def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
+        self.table.delete(tup, self.host.now())
+        return ()

@@ -1,0 +1,11 @@
+"""End-to-end experiment drivers used by the benchmark harness and examples."""
+
+from .chord_churn import ChurnChordResult, run_churn_experiment
+from .chord_static import StaticChordResult, run_static_experiment
+
+__all__ = [
+    "StaticChordResult",
+    "run_static_experiment",
+    "ChurnChordResult",
+    "run_churn_experiment",
+]

@@ -1,0 +1,25 @@
+"""Simulated network substrate: topologies, transport, traffic accounting."""
+
+from .topology import (
+    LatencyMatrixTopology,
+    Topology,
+    TransitStubTopology,
+    UniformTopology,
+)
+from .transport import (
+    DEFAULT_CATEGORY,
+    Network,
+    NodeTrafficStats,
+    PACKET_OVERHEAD_BYTES,
+)
+
+__all__ = [
+    "Topology",
+    "UniformTopology",
+    "TransitStubTopology",
+    "LatencyMatrixTopology",
+    "Network",
+    "NodeTrafficStats",
+    "PACKET_OVERHEAD_BYTES",
+    "DEFAULT_CATEGORY",
+]

@@ -1,0 +1,168 @@
+"""The simulated network: addressing, message delivery, and byte accounting.
+
+The paper's P2 sends marshaled tuples over UDP between Emulab hosts; here a
+:class:`Network` object connects all simulated nodes through the event loop,
+applying topology latency, optional loss, and recording per-node transmit /
+receive statistics.  Bandwidth accounting distinguishes traffic *categories*
+(maintenance vs. lookup) through a pluggable classifier, which is how the
+maintenance-bandwidth figures (Figure 3(ii), Figure 4(i)) are produced.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple as PyTuple
+
+from ..core.errors import NetworkError
+from ..core.tuples import Tuple
+from ..sim.event_loop import EventLoop
+from .topology import Topology, UniformTopology
+
+#: UDP/IP/Ethernet framing overhead added to every marshaled tuple, bytes.
+PACKET_OVERHEAD_BYTES = 28 + 14
+
+Classifier = Callable[[Tuple], str]
+SendHook = Callable[[str, str, Tuple, float], None]
+DEFAULT_CATEGORY = "maintenance"
+
+
+class Endpoint(Protocol):
+    """What the network needs from a node."""
+
+    address: str
+
+    def receive(self, tup: Tuple) -> None: ...
+
+
+@dataclass
+class NodeTrafficStats:
+    """Per-node transmit/receive counters, split by traffic category."""
+
+    tx_messages: int = 0
+    rx_messages: int = 0
+    tx_bytes: int = 0
+    rx_bytes: int = 0
+    tx_bytes_by_category: Dict[str, int] = field(default_factory=dict)
+    rx_bytes_by_category: Dict[str, int] = field(default_factory=dict)
+
+    def record_tx(self, nbytes: int, category: str) -> None:
+        self.tx_messages += 1
+        self.tx_bytes += nbytes
+        self.tx_bytes_by_category[category] = (
+            self.tx_bytes_by_category.get(category, 0) + nbytes
+        )
+
+    def record_rx(self, nbytes: int, category: str) -> None:
+        self.rx_messages += 1
+        self.rx_bytes += nbytes
+        self.rx_bytes_by_category[category] = (
+            self.rx_bytes_by_category.get(category, 0) + nbytes
+        )
+
+
+class Network:
+    """Connects every node in a simulation and delivers tuples between them."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        topology: Optional[Topology] = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        classifier: Optional[Classifier] = None,
+    ):
+        self.loop = loop
+        self.topology = topology or UniformTopology()
+        self.loss_rate = loss_rate
+        self.classifier = classifier or (lambda tup: DEFAULT_CATEGORY)
+        self._rng = random.Random(seed)
+        self._nodes: Dict[str, Endpoint] = {}
+        self._indices: Dict[str, int] = {}
+        self._alive: Dict[str, bool] = {}
+        self.stats: Dict[str, NodeTrafficStats] = {}
+        self._send_hooks: List[SendHook] = []
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    # -- membership ----------------------------------------------------------------
+    def register(self, node: Endpoint) -> int:
+        """Attach *node* to the network; returns its topology index."""
+        address = node.address
+        if address in self._nodes:
+            raise NetworkError(f"address {address!r} already registered")
+        index = len(self._indices)
+        self._nodes[address] = node
+        self._indices[address] = index
+        self._alive[address] = True
+        self.stats.setdefault(address, NodeTrafficStats())
+        self.topology.register(index)
+        return index
+
+    def unregister(self, address: str) -> None:
+        """Detach a node (it stops receiving; its statistics are retained)."""
+        self._alive[address] = False
+        self._nodes.pop(address, None)
+
+    def set_alive(self, address: str, alive: bool) -> None:
+        if address not in self._indices:
+            raise NetworkError(f"unknown address {address!r}")
+        self._alive[address] = alive
+
+    def is_alive(self, address: str) -> bool:
+        return self._alive.get(address, False)
+
+    def addresses(self, alive_only: bool = True) -> List[str]:
+        if alive_only:
+            return [a for a, alive in self._alive.items() if alive and a in self._nodes]
+        return list(self._indices)
+
+    # -- hooks ----------------------------------------------------------------------
+    def add_send_hook(self, hook: SendHook) -> None:
+        """Observe every send: ``hook(src, dst, tuple, time)`` (metrics use this)."""
+        self._send_hooks.append(hook)
+
+    def set_classifier(self, classifier: Classifier) -> None:
+        self.classifier = classifier
+
+    # -- data path --------------------------------------------------------------------
+    def send(self, src: str, dst: str, tup: Tuple) -> bool:
+        """Marshal and send *tup* from *src* to *dst*.
+
+        Returns True when the message was put on the wire (it may still be
+        lost or arrive at a dead node, exactly like UDP).
+        """
+        if src not in self._indices:
+            raise NetworkError(f"unknown source address {src!r}")
+        self.messages_sent += 1
+        size = tup.estimate_size() + PACKET_OVERHEAD_BYTES
+        category = self.classifier(tup)
+        self.stats.setdefault(src, NodeTrafficStats()).record_tx(size, category)
+        for hook in self._send_hooks:
+            hook(src, dst, tup, self.loop.now)
+        if dst not in self._indices:
+            self.messages_dropped += 1
+            return False
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.messages_dropped += 1
+            return False
+        delay = self.topology.latency(self._indices[src], self._indices[dst])
+        self.loop.schedule(delay, lambda: self._deliver(dst, tup, size, category))
+        return True
+
+    def _deliver(self, dst: str, tup: Tuple, size: int, category: str) -> None:
+        node = self._nodes.get(dst)
+        if node is None or not self._alive.get(dst, False):
+            self.messages_dropped += 1
+            return
+        self.stats.setdefault(dst, NodeTrafficStats()).record_rx(size, category)
+        node.receive(tup)
+
+    # -- aggregate statistics ------------------------------------------------------------
+    def total_tx_bytes(self, category: Optional[str] = None) -> int:
+        if category is None:
+            return sum(s.tx_bytes for s in self.stats.values())
+        return sum(s.tx_bytes_by_category.get(category, 0) for s in self.stats.values())
+
+    def stats_for(self, address: str) -> NodeTrafficStats:
+        return self.stats.setdefault(address, NodeTrafficStats())

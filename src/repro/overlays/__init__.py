@@ -1,0 +1,5 @@
+"""Ready-made OverLog overlay specifications (Chord, Narada, gossip, ping/pong)."""
+
+from . import chord, gossip, narada, pingpong
+
+__all__ = ["chord", "narada", "gossip", "pingpong"]

@@ -1,0 +1,17 @@
+"""OverLog: the declarative overlay specification language (front end)."""
+
+from . import ast
+from .builtins import DEFAULT_BUILTINS, make_builtins
+from .lexer import Token, TokenStream, tokenize
+from .parser import parse_expression, parse_program
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "Token",
+    "TokenStream",
+    "parse_program",
+    "parse_expression",
+    "DEFAULT_BUILTINS",
+    "make_builtins",
+]

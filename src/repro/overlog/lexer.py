@@ -1,0 +1,118 @@
+"""Tokenizer for OverLog source text."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from ..core.errors import ParseError
+
+# Token types
+IDENT = "IDENT"          # lower-case initial: relation names, keywords, functions
+VARIABLE = "VARIABLE"    # upper-case initial: logic variables
+NUMBER = "NUMBER"
+STRING = "STRING"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = {"materialize", "keys", "infinity", "delete", "not", "in", "true", "false"}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>/\*.*?\*/|//[^\n]*|\#[^\n]*)
+  | (?P<number>\d+\.\d+|\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>:-|:=|<<|>>|<=|>=|==|!=|&&|\|\||[()\[\],.@<>+\-*/%!_])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convert OverLog source text into a token list (comments stripped)."""
+    tokens: List[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+    while pos < length:
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            col = pos - line_start + 1
+            raise ParseError(f"unexpected character {source[pos]!r}", line, col)
+        kind = match.lastgroup
+        text = match.group()
+        col = pos - line_start + 1
+        if kind in ("ws", "comment"):
+            newlines = text.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + text.rfind("\n") + 1
+        elif kind == "number":
+            tokens.append(Token(NUMBER, text, line, col))
+        elif kind == "string":
+            tokens.append(Token(STRING, text, line, col))
+        elif kind == "name":
+            first = text[0]
+            if first == "_" and len(text) == 1:
+                tokens.append(Token(PUNCT, "_", line, col))
+            elif first.isupper():
+                tokens.append(Token(VARIABLE, text, line, col))
+            else:
+                tokens.append(Token(IDENT, text, line, col))
+        else:  # punct
+            tokens.append(Token(PUNCT, text, line, col))
+        pos = match.end()
+    tokens.append(Token(EOF, "", line, pos - line_start + 1))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list, with the look-ahead the parser needs."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        idx = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[idx]
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.type != EOF:
+            self._pos += 1
+        return tok
+
+    def expect(self, type_: str, value: Optional[str] = None) -> Token:
+        tok = self.peek()
+        if tok.type != type_ or (value is not None and tok.value != value):
+            want = value if value is not None else type_
+            raise ParseError(f"expected {want!r}, found {tok.value!r}", tok.line, tok.column)
+        return self.next()
+
+    def accept(self, type_: str, value: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.type == type_ and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def at_end(self) -> bool:
+        return self.peek().type == EOF
+
+    def __iter__(self) -> Iterator[Token]:
+        return iter(self._tokens[self._pos:])

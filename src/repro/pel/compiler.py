@@ -1,0 +1,93 @@
+"""Compile OverLog expressions into PEL programs.
+
+The planner calls :func:`compile_expression` with the *schema* of the tuple
+that will flow through the element — a mapping from variable name to field
+position — and receives a :class:`~repro.pel.program.Program` ready to hand to
+a Select / Assign / Project element.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.errors import PELError
+from ..overlog import ast
+from .opcodes import Op
+from .program import Program
+
+_BINOPS = {
+    "+": Op.ADD,
+    "-": Op.SUB,
+    "*": Op.MUL,
+    "/": Op.DIV,
+    "%": Op.MOD,
+    "<<": Op.SHL,
+    ">>": Op.SHR,
+    "==": Op.EQ,
+    "!=": Op.NE,
+    "<": Op.LT,
+    "<=": Op.LE,
+    ">": Op.GT,
+    ">=": Op.GE,
+    "&&": Op.AND,
+    "||": Op.OR,
+}
+
+_UNOPS = {
+    "-": Op.NEG,
+    "!": Op.NOT,
+}
+
+
+def compile_expression(expr: ast.Expression, schema: Mapping[str, int]) -> Program:
+    """Compile *expr* against *schema* (variable name → tuple position)."""
+    program = Program(source=str(expr))
+    _emit(expr, schema, program)
+    return program
+
+
+def _emit(expr: ast.Expression, schema: Mapping[str, int], program: Program) -> None:
+    if isinstance(expr, ast.Constant):
+        program.emit(Op.PUSH, expr.value)
+    elif isinstance(expr, ast.Variable):
+        if expr.name not in schema:
+            raise PELError(
+                f"variable {expr.name!r} is not bound (schema: {sorted(schema)})"
+            )
+        program.emit(Op.LOAD, schema[expr.name])
+    elif isinstance(expr, ast.DontCare):
+        raise PELError("the wildcard '_' cannot be used inside an expression")
+    elif isinstance(expr, ast.BinaryOp):
+        op = _BINOPS.get(expr.op)
+        if op is None:
+            raise PELError(f"unsupported binary operator {expr.op!r}")
+        _emit(expr.left, schema, program)
+        _emit(expr.right, schema, program)
+        program.emit(op)
+    elif isinstance(expr, ast.UnaryOp):
+        op = _UNOPS.get(expr.op)
+        if op is None:
+            raise PELError(f"unsupported unary operator {expr.op!r}")
+        _emit(expr.operand, schema, program)
+        program.emit(op)
+    elif isinstance(expr, ast.FunctionCall):
+        for arg in expr.args:
+            _emit(arg, schema, program)
+        program.emit(Op.CALL, (expr.name, len(expr.args)))
+    elif isinstance(expr, ast.RangeTest):
+        _emit(expr.value, schema, program)
+        _emit(expr.low, schema, program)
+        _emit(expr.high, schema, program)
+        program.emit(Op.RING_IN, (expr.include_low, expr.include_high))
+    else:
+        raise PELError(f"cannot compile expression node {expr!r}")
+
+
+def constant_program(value: object) -> Program:
+    """A trivial program pushing a single constant (used for fixed head fields)."""
+    return Program(source=repr(value)).emit(Op.PUSH, value)
+
+
+def load_program(position: int, source: str = "") -> Program:
+    """A trivial program loading one input field (used for pass-through heads)."""
+    return Program(source=source or f"${position}").emit(Op.LOAD, position)

@@ -1,0 +1,205 @@
+"""The PEL virtual machine.
+
+A tiny stack machine; each dataflow element that is parameterised by a PEL
+program runs it once per tuple through :class:`PelVM`.  The machine is
+deliberately branch-free (PEL has no jumps), which keeps element behaviour
+easy to reason about, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..core import values
+from ..core.errors import PELError
+from ..core.idspace import IdSpace
+from .opcodes import Op
+from .program import Program
+
+BuiltinFunction = Callable[..., Any]
+
+
+class EvalContext:
+    """Everything a PEL program may touch while executing.
+
+    Parameters
+    ----------
+    fields:
+        The fields of the tuple currently flowing through the element.
+    builtins:
+        Mapping of function name to callable ``fn(ctx, *args)``; populated by
+        :mod:`repro.overlog.builtins` via the node runtime.
+    node:
+        The hosting node runtime (provides the clock, the random source and
+        the node's address); ``None`` for node-free evaluation in tests.
+    idspace:
+        Ring arithmetic configuration for ``RING_*`` opcodes.
+    """
+
+    __slots__ = ("fields", "builtins", "node", "idspace")
+
+    def __init__(
+        self,
+        fields: Sequence[Any] = (),
+        builtins: Optional[Mapping[str, BuiltinFunction]] = None,
+        node: Any = None,
+        idspace: Optional[IdSpace] = None,
+    ):
+        self.fields = fields
+        self.builtins = dict(builtins or {})
+        self.node = node
+        self.idspace = idspace or IdSpace()
+
+    def call(self, name: str, args: Sequence[Any]) -> Any:
+        fn = self.builtins.get(name)
+        if fn is None:
+            raise PELError(f"unknown built-in function {name!r}")
+        return fn(self, *args)
+
+
+class PelVM:
+    """Executes :class:`~repro.pel.program.Program` objects."""
+
+    def execute(self, program: Program, ctx: EvalContext) -> Any:
+        """Run *program*, returning the value left on top of the stack."""
+        stack: List[Any] = []
+        push = stack.append
+        pop = stack.pop
+        try:
+            for op, operand in program.instructions:
+                if op is Op.PUSH:
+                    push(operand)
+                elif op is Op.LOAD:
+                    try:
+                        push(ctx.fields[operand])
+                    except IndexError:
+                        raise PELError(
+                            f"LOAD {operand} out of range (tuple arity {len(ctx.fields)})"
+                        ) from None
+                elif op is Op.POP:
+                    pop()
+                elif op is Op.DUP:
+                    push(stack[-1])
+                elif op is Op.ADD:
+                    b, a = pop(), pop()
+                    push(self._arith(a, b, "+"))
+                elif op is Op.SUB:
+                    b, a = pop(), pop()
+                    push(self._arith(a, b, "-"))
+                elif op is Op.MUL:
+                    b, a = pop(), pop()
+                    push(self._arith(a, b, "*"))
+                elif op is Op.DIV:
+                    b, a = pop(), pop()
+                    push(self._divide(a, b))
+                elif op is Op.MOD:
+                    b, a = pop(), pop()
+                    push(values.to_int(a) % values.to_int(b))
+                elif op is Op.NEG:
+                    push(-values.to_float(pop()))
+                elif op is Op.SHL:
+                    b, a = pop(), pop()
+                    push(values.to_int(a) << values.to_int(b))
+                elif op is Op.SHR:
+                    b, a = pop(), pop()
+                    push(values.to_int(a) >> values.to_int(b))
+                elif op is Op.EQ:
+                    b, a = pop(), pop()
+                    push(values.equal(a, b))
+                elif op is Op.NE:
+                    b, a = pop(), pop()
+                    push(not values.equal(a, b))
+                elif op is Op.LT:
+                    b, a = pop(), pop()
+                    push(values.compare(a, b) < 0)
+                elif op is Op.LE:
+                    b, a = pop(), pop()
+                    push(values.compare(a, b) <= 0)
+                elif op is Op.GT:
+                    b, a = pop(), pop()
+                    push(values.compare(a, b) > 0)
+                elif op is Op.GE:
+                    b, a = pop(), pop()
+                    push(values.compare(a, b) >= 0)
+                elif op is Op.NOT:
+                    push(not values.to_bool(pop()))
+                elif op is Op.AND:
+                    b, a = pop(), pop()
+                    push(values.to_bool(a) and values.to_bool(b))
+                elif op is Op.OR:
+                    b, a = pop(), pop()
+                    push(values.to_bool(a) or values.to_bool(b))
+                elif op is Op.RING_ADD:
+                    b, a = pop(), pop()
+                    push(ctx.idspace.wrap(values.to_int(a) + values.to_int(b)))
+                elif op is Op.RING_SUB:
+                    b, a = pop(), pop()
+                    push(ctx.idspace.wrap(values.to_int(a) - values.to_int(b)))
+                elif op is Op.RING_IN:
+                    include_low, include_high = operand
+                    hi, lo, v = pop(), pop(), pop()
+                    # Range tests over non-numeric values (e.g. the "-" null
+                    # address used by Chord's pred/landmark bootstrap facts)
+                    # are simply false rather than an error, so rules like
+                    # ((PI1 == "-") || (P in (P1, N))) behave as intended.
+                    try:
+                        iv = values.to_int(v)
+                        ilo = values.to_int(lo)
+                        ihi = values.to_int(hi)
+                    except Exception:
+                        push(False)
+                    else:
+                        push(
+                            ctx.idspace.in_interval(
+                                iv, ilo, ihi, include_low, include_high
+                            )
+                        )
+                elif op is Op.CALL:
+                    name, argc = operand
+                    args = [pop() for _ in range(argc)][::-1]
+                    push(ctx.call(name, args))
+                elif op is Op.STOP:
+                    break
+                else:  # pragma: no cover - defensive
+                    raise PELError(f"unhandled opcode {op!r}")
+        except PELError:
+            raise
+        except Exception as exc:
+            raise PELError(f"PEL execution failed ({program.source!r}): {exc}") from exc
+        if not stack:
+            return None
+        return stack[-1]
+
+    # -- arithmetic helpers ----------------------------------------------------
+    @staticmethod
+    def _arith(a: Any, b: Any, op: str) -> Any:
+        # String concatenation mirrors P2's Value semantics for '+'.
+        if op == "+" and (isinstance(a, str) or isinstance(b, str)):
+            return values.to_str(a) + values.to_str(b)
+        fa = values.to_float(a)
+        fb = values.to_float(b)
+        if op == "+":
+            result = fa + fb
+        elif op == "-":
+            result = fa - fb
+        else:
+            result = fa * fb
+        if isinstance(a, int) and isinstance(b, int) and not isinstance(a, bool) and not isinstance(b, bool):
+            return int(result)
+        return result
+
+    @staticmethod
+    def _divide(a: Any, b: Any) -> float:
+        fb = values.to_float(b)
+        if fb == 0:
+            raise PELError("division by zero")
+        return values.to_float(a) / fb
+
+
+#: A module-level VM instance; the VM is stateless so sharing it is safe.
+VM = PelVM()
+
+
+def run(program: Program, ctx: Optional[EvalContext] = None, **kwargs: Any) -> Any:
+    """Convenience wrapper: execute *program* with a fresh or given context."""
+    return VM.execute(program, ctx or EvalContext(**kwargs))

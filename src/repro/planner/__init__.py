@@ -1,0 +1,19 @@
+"""Planner: compiles OverLog programs into executable dataflow graphs."""
+
+from .analyzer import RuleAnalysis, RuleKind, analyze_program, analyze_rule
+from .planner import CompiledDataflow, Planner
+from .strand import ContinuousAggregateStrand, HeadRoute, PeriodicSpec, RuleStrand, StrandResult
+
+__all__ = [
+    "Planner",
+    "CompiledDataflow",
+    "RuleStrand",
+    "ContinuousAggregateStrand",
+    "PeriodicSpec",
+    "HeadRoute",
+    "StrandResult",
+    "RuleAnalysis",
+    "RuleKind",
+    "analyze_rule",
+    "analyze_program",
+]

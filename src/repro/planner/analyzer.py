@@ -1,0 +1,174 @@
+"""Static analysis of OverLog rules prior to planning.
+
+The analyzer answers, for every rule:
+
+* is the rule *localised* (all body predicates at one location variable)?
+  Multi-node bodies are rejected, as in the paper's current planner
+  (Section 7: "our planner does not currently handle ... multi-node rule
+  bodies");
+* which body predicates can *trigger* the rule (the event candidates):
+  a predicate can trigger iff every **other** positive predicate is a
+  materialized table (P2 only joins a stream against tables);
+* is the rule an event rule, a table-delta rule, a continuously maintained
+  aggregate, or malformed;
+* is the rule *safe*: every head variable is bound by a positive body
+  predicate or an assignment.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..core.errors import PlannerError
+from ..overlog import ast
+
+
+class RuleKind(enum.Enum):
+    EVENT = "event"                    # triggered by stream arrivals
+    TABLE_DELTA = "table-delta"        # triggered by table inserts
+    CONTINUOUS_AGGREGATE = "continuous-aggregate"
+
+
+@dataclass
+class RuleAnalysis:
+    rule: ast.Rule
+    kind: RuleKind
+    #: names of body predicates that may trigger the rule (in body order)
+    event_candidates: List[ast.Predicate] = field(default_factory=list)
+    location_variable: Optional[str] = None
+
+
+def analyze_rule(rule: ast.Rule, program: ast.Program) -> RuleAnalysis:
+    """Validate *rule* and classify how it must be executed."""
+    positives = rule.positive_predicates()
+    if not positives:
+        raise PlannerError(f"rule {rule.rule_id}: needs at least one positive body predicate")
+
+    location = _check_localized(rule)
+    _check_safety(rule)
+    _check_negation(rule, program)
+
+    has_aggregate = bool(rule.head.aggregate_positions)
+    candidates = _event_candidates(rule, program)
+
+    stream_preds = [p for p in positives if not _is_table(p, program)]
+    if stream_preds:
+        if not candidates:
+            names = ", ".join(p.name for p in stream_preds)
+            raise PlannerError(
+                f"rule {rule.rule_id}: cannot join streams against streams ({names}); "
+                "only one non-materialized predicate is allowed per rule"
+            )
+        return RuleAnalysis(rule, RuleKind.EVENT, candidates, location)
+
+    # tables-only body
+    if has_aggregate:
+        return RuleAnalysis(rule, RuleKind.CONTINUOUS_AGGREGATE, candidates, location)
+    return RuleAnalysis(rule, RuleKind.TABLE_DELTA, candidates, location)
+
+
+def analyze_program(program: ast.Program) -> List[RuleAnalysis]:
+    return [analyze_rule(rule, program) for rule in program.rules]
+
+
+# -- helpers -----------------------------------------------------------------------
+
+
+def _is_table(pred: ast.Predicate, program: ast.Program) -> bool:
+    return program.is_materialized(pred.name)
+
+
+def _event_candidates(rule: ast.Rule, program: ast.Program) -> List[ast.Predicate]:
+    """Body predicates able to trigger the rule.
+
+    A predicate can trigger the rule iff every *other* positive predicate is a
+    materialized table (joins only run against stored state).
+    """
+    positives = rule.positive_predicates()
+    candidates = []
+    for pred in positives:
+        others = [p for p in positives if p is not pred]
+        if all(_is_table(p, program) for p in others):
+            candidates.append(pred)
+    return candidates
+
+
+def _check_localized(rule: ast.Rule) -> Optional[str]:
+    locations: Set[str] = set()
+    for pred in rule.body_predicates():
+        if pred.location is not None:
+            locations.add(pred.location)
+    if len(locations) > 1:
+        raise PlannerError(
+            f"rule {rule.rule_id}: body terms live at different nodes {sorted(locations)}; "
+            "multi-node rule bodies are not supported (rewrite with an explicit "
+            "message stream, as the paper's appendix programs do)"
+        )
+    return next(iter(locations), None)
+
+
+def _bound_variables(rule: ast.Rule) -> Set[str]:
+    bound: Set[str] = set()
+    for pred in rule.positive_predicates():
+        if pred.location:
+            bound.add(pred.location)
+        for arg in pred.args:
+            if isinstance(arg, ast.Variable):
+                bound.add(arg.name)
+    # assignments bind their target when their inputs are bound; iterate to fixpoint
+    assignments = rule.assignments()
+    changed = True
+    while changed:
+        changed = False
+        for assign in assignments:
+            if assign.variable in bound:
+                continue
+            if all(v in bound for v in assign.expression.variables()):
+                bound.add(assign.variable)
+                changed = True
+    return bound
+
+
+def _check_safety(rule: ast.Rule) -> None:
+    bound = _bound_variables(rule)
+    unbound: List[str] = []
+    for f in rule.head.fields:
+        if isinstance(f, ast.Aggregate):
+            if f.variable is not None and f.variable not in bound:
+                unbound.append(f.variable)
+        else:
+            unbound.extend(v for v in f.variables() if v not in bound)
+    if rule.head.location and rule.head.location not in bound:
+        unbound.append(rule.head.location)
+    if unbound:
+        raise PlannerError(
+            f"rule {rule.rule_id}: head variables {sorted(set(unbound))} are not bound "
+            "by the body (unsafe rule)"
+        )
+    for sel in rule.selections():
+        for v in sel.expression.variables():
+            if v not in bound:
+                raise PlannerError(
+                    f"rule {rule.rule_id}: selection uses unbound variable {v!r}"
+                )
+
+
+def _check_negation(rule: ast.Rule, program: ast.Program) -> None:
+    bound = _bound_variables(rule)
+    for pred in rule.body_predicates():
+        if not pred.negated:
+            continue
+        if not program.is_materialized(pred.name):
+            raise PlannerError(
+                f"rule {rule.rule_id}: negated predicate {pred.name!r} must be a "
+                "materialized table"
+            )
+        for arg in pred.args:
+            for v in arg.variables():
+                if v not in bound:
+                    raise PlannerError(
+                        f"rule {rule.rule_id}: negated predicate {pred.name!r} uses "
+                        f"variable {v!r} not bound elsewhere (unsafe negation)"
+                    )

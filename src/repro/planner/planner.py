@@ -1,0 +1,488 @@
+"""The planner: OverLog programs → executable dataflow.
+
+Mirrors Section 3.5 of the paper: for every rule the planner
+
+1. creates the tables and the indices needed for its equijoins,
+2. identifies the triggering (event) predicate(s),
+3. emits a chain of elements — equijoins, selections (pushed as early as
+   their variables allow), assignments, an optional aggregate — all
+   parameterised by PEL programs compiled against the evolving tuple schema,
+4. adds a projection that constructs the head tuple, and
+5. records how head tuples are routed (local table insert, local stream
+   loop-back, network send, or deletion).
+
+The output is a :class:`CompiledDataflow` that the node runtime executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.errors import PlannerError
+from ..core.tuples import Tuple
+from ..dataflow.element import Element, Graph
+from ..dataflow.operators import (
+    Aggregate,
+    AntiJoin,
+    Assign,
+    LookupJoin,
+    Project,
+    Select,
+)
+from ..overlog import ast, parse_program
+from ..pel import compile_expression, constant_program, load_program
+from ..pel.program import Program as PelProgram
+from ..tables.table import INFINITY, Table, TableStore
+from .analyzer import RuleAnalysis, RuleKind, analyze_rule
+from .strand import ContinuousAggregateStrand, PeriodicSpec, RuleStrand
+
+
+@dataclass
+class CompiledDataflow:
+    """Everything the planner produces for one node."""
+
+    program: ast.Program
+    strands_by_event: Dict[str, List[RuleStrand]] = field(default_factory=dict)
+    continuous: List[ContinuousAggregateStrand] = field(default_factory=list)
+    periodics: List[PeriodicSpec] = field(default_factory=list)
+    facts: List[Tuple] = field(default_factory=list)
+    graph: Graph = field(default_factory=Graph)
+
+    def all_strands(self) -> List[RuleStrand]:
+        out: List[RuleStrand] = []
+        for strands in self.strands_by_event.values():
+            out.extend(strands)
+        out.extend(spec.strand for spec in self.periodics)
+        return out
+
+    def describe(self) -> str:
+        lines = [f"tables: {', '.join(self.program.materialized_names()) or '(none)'}"]
+        for name in sorted(self.strands_by_event):
+            for strand in self.strands_by_event[name]:
+                lines.append(strand.describe())
+        for spec in self.periodics:
+            lines.append(f"every {spec.period}s: {spec.strand.describe()}")
+        for cont in self.continuous:
+            lines.append(f"continuous: {cont.rule_id} over {cont.base_table.name}")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Compiles one OverLog program for one hosting node."""
+
+    def __init__(self, program: "ast.Program | str", host: Any, tables: TableStore):
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program = program
+        self.host = host
+        self.tables = tables
+
+    # -- public API ---------------------------------------------------------------
+    def compile(self) -> CompiledDataflow:
+        compiled = CompiledDataflow(self.program)
+        self._create_tables()
+        for rule in self.program.rules:
+            analysis = analyze_rule(rule, self.program)
+            if analysis.kind is RuleKind.CONTINUOUS_AGGREGATE:
+                compiled.continuous.append(self._compile_continuous(rule, compiled))
+                continue
+            for event_pred in analysis.event_candidates:
+                strand = self._compile_strand(rule, event_pred, compiled)
+                if event_pred.name == "periodic":
+                    compiled.periodics.append(self._periodic_spec(rule, event_pred, strand))
+                else:
+                    compiled.strands_by_event.setdefault(event_pred.name, []).append(strand)
+        compiled.facts = [self._resolve_fact(f) for f in self.program.facts]
+        return compiled
+
+    # -- tables ---------------------------------------------------------------------
+    def _create_tables(self) -> None:
+        for mat in self.program.materializations:
+            if self.tables.has(mat.name):
+                continue
+            key_positions = [k - 1 for k in mat.keys]
+            if any(k < 0 for k in key_positions):
+                raise PlannerError(f"table {mat.name}: keys(...) positions are 1-based")
+            self.tables.create(
+                mat.name,
+                key_positions,
+                lifetime=mat.lifetime if mat.lifetime != float("inf") else INFINITY,
+                max_size=mat.max_size if mat.max_size != float("inf") else INFINITY,
+            )
+
+    # -- facts ----------------------------------------------------------------------
+    def _resolve_fact(self, fact: ast.Fact) -> Tuple:
+        fields: List[Any] = []
+        for arg in fact.args:
+            if isinstance(arg, ast.Constant):
+                fields.append(arg.value)
+            elif isinstance(arg, ast.Variable):
+                if fact.location is not None and arg.name == fact.location:
+                    fields.append(self.host.address)
+                else:
+                    raise PlannerError(
+                        f"fact {fact.name}: variable {arg.name} is not the location "
+                        "specifier; facts must otherwise be ground"
+                    )
+            elif isinstance(arg, ast.FunctionCall):
+                program = compile_expression(arg, {})
+                from ..pel.vm import VM, EvalContext
+
+                ctx = EvalContext(
+                    fields=(),
+                    builtins=getattr(self.host, "builtins", {}),
+                    node=self.host,
+                    idspace=getattr(self.host, "idspace", None),
+                )
+                fields.append(VM.execute(program, ctx))
+            else:
+                raise PlannerError(f"fact {fact.name}: unsupported argument {arg}")
+        return Tuple(fact.name, fields)
+
+    # -- strand compilation ------------------------------------------------------------
+    def _compile_strand(
+        self, rule: ast.Rule, event_pred: ast.Predicate, compiled: CompiledDataflow
+    ) -> RuleStrand:
+        schema: Dict[str, int] = {}
+        width = len(event_pred.args)
+        ops: List[Element] = []
+        first_join_index: Optional[int] = None
+
+        # 1. constraints implied by the event predicate's own argument list
+        for pos, arg in enumerate(event_pred.args):
+            if isinstance(arg, ast.Variable):
+                if arg.name in schema:
+                    ops.append(self._equality_select(schema[arg.name], pos, rule))
+                else:
+                    schema[arg.name] = pos
+            elif isinstance(arg, ast.Constant):
+                ops.append(self._constant_select(pos, arg.value, rule))
+            elif isinstance(arg, ast.DontCare):
+                continue
+            else:
+                raise PlannerError(
+                    f"rule {rule.rule_id}: complex expression {arg} not allowed as a "
+                    f"body-predicate argument"
+                )
+        # the event's location variable is implicitly the local address
+        if event_pred.location and event_pred.location not in schema:
+            ops.append(
+                Assign(
+                    self.host,
+                    PelProgram(source="f_localAddr()").extend(
+                        compile_expression(ast.FunctionCall("f_localAddr", ()), {})
+                    ),
+                    name=f"{rule.rule_id}:bind-location",
+                )
+            )
+            schema[event_pred.location] = width
+            width += 1
+
+        # 2. place the remaining body terms
+        remaining: List[ast.BodyTerm] = [
+            t for t in rule.body if not (isinstance(t, ast.Predicate) and t is event_pred)
+        ]
+        while remaining:
+            term = self._next_placeable(remaining, schema, rule)
+            remaining.remove(term)
+            if isinstance(term, ast.Selection):
+                ops.append(
+                    Select(
+                        self.host,
+                        compile_expression(term.expression, schema),
+                        name=f"{rule.rule_id}:select",
+                    )
+                )
+            elif isinstance(term, ast.Assignment):
+                ops.append(
+                    Assign(
+                        self.host,
+                        compile_expression(term.expression, schema),
+                        name=f"{rule.rule_id}:assign:{term.variable}",
+                    )
+                )
+                schema[term.variable] = width
+                width += 1
+            elif isinstance(term, ast.Predicate):
+                join_index = len(ops)
+                new_ops, width = self._compile_join(term, schema, width, rule)
+                ops.extend(new_ops)
+                if not term.negated and first_join_index is None:
+                    first_join_index = join_index
+            else:  # pragma: no cover - defensive
+                raise PlannerError(f"rule {rule.rule_id}: unexpected body term {term}")
+
+        # 3. head projection / aggregation / routing
+        strand = self._build_head(rule, event_pred, schema, ops, first_join_index)
+        for element in strand.elements():
+            compiled.graph.add(element)
+        return strand
+
+    def _next_placeable(
+        self, remaining: List[ast.BodyTerm], schema: Dict[str, int], rule: ast.Rule
+    ) -> ast.BodyTerm:
+        """Pick the next body term whose inputs are available.
+
+        Preference order: selections, then assignments (cheap, reduce work
+        early — the paper's "push a selection upstream of an equijoin"), then
+        positive joins sharing a bound variable, then any positive join, and
+        finally negated predicates (anti-joins) once their variables are bound.
+        """
+        selections = [
+            t
+            for t in remaining
+            if isinstance(t, ast.Selection)
+            and all(v in schema for v in t.expression.variables())
+        ]
+        if selections:
+            return selections[0]
+        assignments = [
+            t
+            for t in remaining
+            if isinstance(t, ast.Assignment)
+            and all(v in schema for v in t.expression.variables())
+        ]
+        if assignments:
+            return assignments[0]
+        positive = [t for t in remaining if isinstance(t, ast.Predicate) and not t.negated]
+        sharing = [
+            p for p in positive if any(v in schema for v in p.arg_variables())
+        ]
+        if sharing:
+            return sharing[0]
+        if positive:
+            return positive[0]
+        negated = [
+            t
+            for t in remaining
+            if isinstance(t, ast.Predicate)
+            and t.negated
+            and all(v in schema or isinstance(a, (ast.DontCare, ast.Constant))
+                    for a in t.args for v in a.variables())
+        ]
+        if negated:
+            return negated[0]
+        raise PlannerError(
+            f"rule {rule.rule_id}: cannot order body terms "
+            f"{[str(t) for t in remaining]} with bound variables {sorted(schema)}"
+        )
+
+    def _compile_join(
+        self,
+        pred: ast.Predicate,
+        schema: Dict[str, int],
+        width: int,
+        rule: ast.Rule,
+    ) -> PyTuple[List[Element], int]:
+        if not self.tables.has(pred.name):
+            raise PlannerError(
+                f"rule {rule.rule_id}: predicate {pred.name!r} is not a materialized "
+                "table and cannot be joined against (declare it with materialize)"
+            )
+        table = self.tables.get(pred.name)
+        table_positions: List[int] = []
+        key_programs: List[PelProgram] = []
+        post_selects: List[Element] = []
+        new_vars: Dict[str, int] = {}
+        for pos, arg in enumerate(pred.args):
+            if isinstance(arg, ast.Variable):
+                if arg.name in schema:
+                    table_positions.append(pos)
+                    key_programs.append(load_program(schema[arg.name], arg.name))
+                elif arg.name in new_vars:
+                    post_selects.append(
+                        self._equality_select(width + new_vars[arg.name], width + pos, rule)
+                    )
+                else:
+                    new_vars[arg.name] = pos
+            elif isinstance(arg, ast.Constant):
+                table_positions.append(pos)
+                key_programs.append(constant_program(arg.value))
+            elif isinstance(arg, ast.DontCare):
+                continue
+            else:
+                raise PlannerError(
+                    f"rule {rule.rule_id}: complex expression {arg} not allowed as a "
+                    "body-predicate argument"
+                )
+        if table_positions and not table.has_index(table_positions):
+            table.add_index(table_positions)
+        if pred.negated:
+            op: Element = AntiJoin(
+                self.host, table, table_positions, key_programs,
+                name=f"{rule.rule_id}:antijoin:{pred.name}",
+            )
+            return [op] + post_selects, width
+        op = LookupJoin(
+            self.host, table, table_positions, key_programs,
+            name=f"{rule.rule_id}:join:{pred.name}",
+        )
+        for var, pos in new_vars.items():
+            schema[var] = width + pos
+        return [op] + post_selects, width + len(pred.args)
+
+    def _build_head(
+        self,
+        rule: ast.Rule,
+        event_pred: ast.Predicate,
+        schema: Dict[str, int],
+        ops: List[Element],
+        first_join_index: Optional[int],
+    ) -> RuleStrand:
+        head = rule.head
+        loc_var = head.location
+        head_programs: List[PelProgram] = []
+        agg_specs: List[PyTuple[int, str]] = []
+        group_positions: List[int] = []
+        loc_position: Optional[int] = None
+        for pos, f in enumerate(head.fields):
+            if isinstance(f, ast.Aggregate):
+                agg_specs.append((pos, f.func))
+                if f.variable is not None:
+                    if f.variable not in schema:
+                        raise PlannerError(
+                            f"rule {rule.rule_id}: aggregate variable {f.variable!r} unbound"
+                        )
+                    head_programs.append(load_program(schema[f.variable], f.variable))
+                    if loc_var is not None and f.variable == loc_var:
+                        loc_position = pos
+                else:
+                    head_programs.append(constant_program(0))
+            else:
+                head_programs.append(compile_expression(f, schema))
+                group_positions.append(pos)
+                if (
+                    loc_var is not None
+                    and isinstance(f, ast.Variable)
+                    and f.name == loc_var
+                    and loc_position is None
+                ):
+                    loc_position = pos
+        if loc_var is not None and loc_position is None:
+            raise PlannerError(
+                f"rule {rule.rule_id}: the head location variable @{loc_var} must also "
+                "appear among the head fields so the tuple can be routed"
+            )
+
+        project = Project(
+            self.host, head_programs, head.name, name=f"{rule.rule_id}:project"
+        )
+        aggregate: Optional[Aggregate] = None
+        fallback_project: Optional[Project] = None
+        if agg_specs:
+            aggregate = Aggregate(group_positions, agg_specs, name=f"{rule.rule_id}:aggregate")
+            fallback_project = self._fallback_project(rule, event_pred, agg_specs)
+
+        if rule.delete:
+            if not self.tables.has(head.name):
+                raise PlannerError(
+                    f"rule {rule.rule_id}: delete target {head.name!r} is not materialized"
+                )
+
+        return RuleStrand(
+            rule.rule_id,
+            event_pred.name,
+            ops,
+            project,
+            head.name,
+            first_join_index=first_join_index,
+            aggregate=aggregate,
+            fallback_project=fallback_project,
+            loc_position=loc_position,
+            is_delete=rule.delete,
+            min_event_arity=len(event_pred.args),
+        )
+
+    def _fallback_project(
+        self,
+        rule: ast.Rule,
+        event_pred: ast.Predicate,
+        agg_specs: Sequence[PyTuple[int, str]],
+    ) -> Optional[Project]:
+        """Projection used to emit ``count<*> == 0`` for empty join results.
+
+        Only possible when every non-aggregate head field is bound by the
+        event predicate itself (the paper's Narada rule R5 is the motivating
+        case); otherwise empty joins simply produce nothing.
+        """
+        if any(func != "count" for _, func in agg_specs):
+            return None
+        prefix_schema: Dict[str, int] = {}
+        for pos, arg in enumerate(event_pred.args):
+            if isinstance(arg, ast.Variable) and arg.name not in prefix_schema:
+                prefix_schema[arg.name] = pos
+        programs: List[PelProgram] = []
+        for f in rule.head.fields:
+            if isinstance(f, ast.Aggregate):
+                programs.append(constant_program(0))
+                continue
+            try:
+                programs.append(compile_expression(f, prefix_schema))
+            except Exception:
+                return None
+        return Project(
+            self.host, programs, rule.head.name, name=f"{rule.rule_id}:fallback-project"
+        )
+
+    # -- continuous aggregates -------------------------------------------------------
+    def _compile_continuous(
+        self, rule: ast.Rule, compiled: CompiledDataflow
+    ) -> ContinuousAggregateStrand:
+        positives = rule.positive_predicates()
+        base_pred = positives[0]
+        strand = self._compile_strand(rule, base_pred, compiled)
+        base_table = self.tables.get(base_pred.name)
+        watched = [self.tables.get(p.name) for p in positives if self.tables.has(p.name)]
+        continuous = ContinuousAggregateStrand(
+            rule.rule_id,
+            base_table,
+            strand.ops,
+            strand.project,
+            strand.aggregate,
+            strand.head_name,
+            strand.loc_position,
+            watched,
+        )
+        return continuous
+
+    # -- periodic events ----------------------------------------------------------------
+    def _periodic_spec(
+        self, rule: ast.Rule, event_pred: ast.Predicate, strand: RuleStrand
+    ) -> PeriodicSpec:
+        args = event_pred.args
+        if len(args) < 3:
+            raise PlannerError(
+                f"rule {rule.rule_id}: periodic needs at least (Node, EventID, Period)"
+            )
+        period_arg = args[2]
+        if not isinstance(period_arg, ast.Constant):
+            raise PlannerError(
+                f"rule {rule.rule_id}: the periodic period must be a literal constant"
+            )
+        period = float(period_arg.value)
+        count: Optional[int] = None
+        if len(args) >= 4 and isinstance(args[3], ast.Constant):
+            count = int(args[3].value)
+            if count == 0:
+                count = None
+        return PeriodicSpec(strand=strand, period=period, count=count, arity=len(args))
+
+    # -- small helpers ----------------------------------------------------------------------
+    def _equality_select(self, pos_a: int, pos_b: int, rule: ast.Rule) -> Select:
+        program = PelProgram(source=f"${pos_a} == ${pos_b}")
+        program.extend(load_program(pos_a))
+        program.extend(load_program(pos_b))
+        from ..pel.opcodes import Op
+
+        program.emit(Op.EQ)
+        return Select(self.host, program, name=f"{rule.rule_id}:eq")
+
+    def _constant_select(self, pos: int, value: Any, rule: ast.Rule) -> Select:
+        program = PelProgram(source=f"${pos} == {value!r}")
+        program.extend(load_program(pos))
+        program.extend(constant_program(value))
+        from ..pel.opcodes import Op
+
+        program.emit(Op.EQ)
+        return Select(self.host, program, name=f"{rule.rule_id}:const")

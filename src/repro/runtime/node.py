@@ -1,0 +1,226 @@
+"""The P2 node runtime.
+
+A :class:`P2Node` is one participant in an overlay: it parses (or receives a
+pre-parsed) OverLog program, has the planner compile it into rule strands over
+its own soft-state tables, and then executes the resulting dataflow — driven
+by periodic timers, tuples arriving from the network, and tuples injected by
+the local application.
+
+The runtime implements the run-to-completion event model of the paper's
+libasync-based implementation: one incoming tuple is fully processed (all
+strands fired, all locally derived tuples chased to fixpoint) before the next
+one is considered.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Set
+
+from ..core import values
+from ..core.errors import P2Error, PlannerError
+from ..core.idspace import IdSpace
+from ..core.tuples import Tuple, fresh_tuple_id
+from ..net.transport import Network
+from ..overlog import ast
+from ..overlog.builtins import make_builtins
+from ..planner.planner import CompiledDataflow, Planner
+from ..planner.strand import ContinuousAggregateStrand, HeadRoute, PeriodicSpec, RuleStrand
+from ..sim.event_loop import EventHandle, EventLoop
+from ..tables.table import TableStore
+
+Subscriber = Callable[[Tuple], None]
+
+#: Safety valve: the maximum number of locally derived tuples processed for a
+#: single external event before the runtime declares a runaway recursion.
+MAX_DERIVATIONS_PER_EVENT = 100_000
+
+
+class P2Node:
+    """One overlay node executing an OverLog specification."""
+
+    def __init__(
+        self,
+        address: str,
+        program: "ast.Program | str",
+        network: Network,
+        loop: EventLoop,
+        *,
+        node_id: Optional[int] = None,
+        idspace: Optional[IdSpace] = None,
+        seed: Optional[int] = None,
+        extra_facts: Sequence[Tuple] = (),
+        extra_builtins: Optional[dict] = None,
+    ):
+        self.address = address
+        self.network = network
+        self.loop = loop
+        self.idspace = idspace or IdSpace()
+        self.rng = random.Random(seed if seed is not None else hash(address) & 0xFFFFFFFF)
+        self.builtins = make_builtins(extra_builtins)
+        self.node_id = node_id
+        self.alive = False
+        self.tables = TableStore()
+        self.compiled: CompiledDataflow = Planner(program, self, self.tables).compile()
+        self._extra_facts = list(extra_facts)
+        self._pending: Deque[Tuple] = deque()
+        self._processing = False
+        self._dirty_continuous: List[ContinuousAggregateStrand] = []
+        self._dirty_set: Set[int] = set()
+        self._subscriptions: Dict[str, List[Subscriber]] = {}
+        self._timers: List[EventHandle] = []
+        self.dropped_remote_sends = 0
+        self.events_processed = 0
+        self._wire_continuous_aggregates()
+
+    # ------------------------------------------------------------------ lifecycle
+    def boot(self) -> None:
+        """Install start-of-day facts and start periodic event sources."""
+        if self.alive:
+            return
+        self.alive = True
+        for fact in list(self.compiled.facts) + self._extra_facts:
+            self.route(fact)
+        for spec in self.compiled.periodics:
+            self._schedule_periodic(spec, remaining=spec.count, first=True)
+
+    def fail(self) -> None:
+        """Crash-stop the node: it stops processing and receiving."""
+        self.alive = False
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+        self.network.set_alive(self.address, False)
+
+    def now(self) -> float:
+        return self.loop.now
+
+    # ------------------------------------------------------------------ application API
+    def inject(self, tup: Tuple) -> None:
+        """Hand a tuple to the node as if a local application produced it."""
+        if not self.alive:
+            return
+        self.route(tup)
+
+    def subscribe(self, relation: str, callback: Subscriber) -> None:
+        """Observe every tuple of *relation* that flows through this node."""
+        self._subscriptions.setdefault(relation, []).append(callback)
+
+    def table(self, name: str):
+        """Access one of the node's materialized tables."""
+        return self.tables.get(name)
+
+    def scan(self, name: str) -> List[Tuple]:
+        """Convenience: the current contents of a table."""
+        return self.tables.get(name).scan(self.now())
+
+    # ------------------------------------------------------------------ network entry
+    def receive(self, tup: Tuple) -> None:
+        """Called by the network when a tuple addressed to this node arrives."""
+        if not self.alive:
+            return
+        self.route(tup)
+
+    # ------------------------------------------------------------------ dataflow core
+    def route(self, tup: Tuple) -> None:
+        """Feed *tup* into the node's demultiplexer and run to completion."""
+        self._pending.append(tup)
+        self._run_queue()
+
+    def _run_queue(self) -> None:
+        """Drain pending tuples and dirty continuous aggregates to fixpoint."""
+        if self._processing:
+            return
+        self._processing = True
+        processed = 0
+        try:
+            while self._pending or self._dirty_continuous:
+                if self._pending:
+                    current = self._pending.popleft()
+                    self._dispatch(current)
+                else:
+                    strand = self._dirty_continuous.pop(0)
+                    self._dirty_set.discard(id(strand))
+                    routes = strand.recompute(self.now(), self.address)
+                    self._handle_routes(routes)
+                processed += 1
+                if processed > MAX_DERIVATIONS_PER_EVENT:
+                    raise P2Error(
+                        f"node {self.address}: more than {MAX_DERIVATIONS_PER_EVENT} "
+                        "derivations for one event; the rule set appears to diverge"
+                    )
+        finally:
+            self._processing = False
+
+    def _dispatch(self, tup: Tuple) -> None:
+        self.events_processed += 1
+        for callback in self._subscriptions.get(tup.name, ()):
+            callback(tup)
+        if self.tables.has(tup.name):
+            self.tables.get(tup.name).insert(tup, self.now())
+        for strand in self.compiled.strands_by_event.get(tup.name, ()):
+            result = strand.process(tup, self.address)
+            self._handle_routes(result.routes)
+
+    def _handle_routes(self, routes: Iterable[HeadRoute]) -> None:
+        for route in routes:
+            if route.is_delete:
+                if route.destination != self.address:
+                    raise PlannerError(
+                        f"node {self.address}: delete rules must target local tables"
+                    )
+                self.tables.get(route.tuple.name).delete(route.tuple, self.now())
+            elif route.destination == self.address:
+                self._pending.append(route.tuple)
+            else:
+                sent = self.network.send(self.address, route.destination, route.tuple)
+                if not sent:
+                    self.dropped_remote_sends += 1
+
+    # ------------------------------------------------------------------ periodic events
+    def _schedule_periodic(
+        self, spec: PeriodicSpec, remaining: Optional[int], first: bool
+    ) -> None:
+        if not self.alive and not first:
+            return
+        if remaining is not None and remaining <= 0:
+            return
+        # Desynchronise nodes by starting each timer at a random phase, then
+        # fire strictly periodically — the standard way real deployments avoid
+        # lock-step maintenance storms.
+        delay = self.rng.uniform(0, spec.period) if first and spec.period > 0 else spec.period
+        if spec.period == 0:
+            delay = 0.0
+
+        def fire() -> None:
+            if not self.alive:
+                return
+            event = spec.make_event(self.address, fresh_tuple_id())
+            result = spec.strand.process(event, self.address)
+            self._handle_routes(result.routes)
+            self._run_queue()
+            next_remaining = None if remaining is None else remaining - 1
+            self._schedule_periodic(spec, next_remaining, first=False)
+
+        self._timers.append(self.loop.schedule(delay, fire))
+
+    # ------------------------------------------------------------------ continuous aggregates
+    def _wire_continuous_aggregates(self) -> None:
+        for strand in self.compiled.continuous:
+            def mark_dirty(_tup, strand=strand) -> None:
+                if id(strand) not in self._dirty_set:
+                    self._dirty_set.add(id(strand))
+                    self._dirty_continuous.append(strand)
+
+            for table in strand.watched_tables:
+                table.on_insert(mark_dirty)
+                table.on_delete(mark_dirty)
+                table.on_expire(mark_dirty)
+
+    # ------------------------------------------------------------------ introspection
+    def describe_dataflow(self) -> str:
+        return self.compiled.describe()
+
+    def __repr__(self) -> str:
+        return f"<P2Node {self.address} id={self.node_id} alive={self.alive}>"

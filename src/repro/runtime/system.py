@@ -1,0 +1,157 @@
+"""High-level simulation API: build and run a whole overlay from one spec.
+
+:class:`OverlaySimulation` owns the event loop, the simulated network, and a
+collection of :class:`~repro.runtime.node.P2Node` instances that all execute
+the same OverLog program (each with its own tables, timers and identifiers) —
+the standard way the paper's experiments are set up (one spec, N nodes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.errors import SimulationError
+from ..core.idspace import IdSpace
+from ..core.tuples import Tuple
+from ..core.values import make_unique_id
+from ..net.topology import Topology, TransitStubTopology, UniformTopology
+from ..net.transport import Network
+from ..overlog import ast, parse_program
+from ..sim.event_loop import EventLoop
+from .node import P2Node
+
+
+class OverlaySimulation:
+    """A population of P2 nodes running one OverLog specification."""
+
+    def __init__(
+        self,
+        program: "ast.Program | str",
+        *,
+        topology: Optional[Topology] = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        id_bits: int = 32,
+        classifier: Optional[Callable[[Tuple], str]] = None,
+    ):
+        self.program = parse_program(program) if isinstance(program, str) else program
+        self.loop = EventLoop()
+        self.network = Network(
+            self.loop,
+            topology or UniformTopology(latency=0.01),
+            loss_rate=loss_rate,
+            seed=seed,
+            classifier=classifier,
+        )
+        self.idspace = IdSpace(bits=id_bits)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.nodes: Dict[str, P2Node] = {}
+        self._counter = 0
+
+    # -- node management ------------------------------------------------------------
+    def fresh_address(self) -> str:
+        self._counter += 1
+        return f"node-{self._counter}"
+
+    def add_node(
+        self,
+        address: Optional[str] = None,
+        *,
+        node_id: Optional[int] = None,
+        extra_facts: Sequence[Tuple] = (),
+        program: "ast.Program | str | None" = None,
+        boot: bool = True,
+        extra_builtins: Optional[dict] = None,
+    ) -> P2Node:
+        """Create (and by default boot) one node running the overlay program."""
+        address = address or self.fresh_address()
+        if address in self.nodes:
+            raise SimulationError(f"node {address!r} already exists")
+        if node_id is None:
+            node_id = self.idspace.wrap(make_unique_id([address]))
+        node = P2Node(
+            address,
+            program if program is not None else self.program,
+            self.network,
+            self.loop,
+            node_id=node_id,
+            idspace=self.idspace,
+            seed=self._rng.getrandbits(32),
+            extra_facts=extra_facts,
+            extra_builtins=extra_builtins,
+        )
+        self.network.register(node)
+        self.nodes[address] = node
+        if boot:
+            node.boot()
+        return node
+
+    def fail_node(self, address: str) -> None:
+        """Crash-stop a node (used by churn experiments)."""
+        node = self.node(address)
+        node.fail()
+
+    def remove_node(self, address: str) -> None:
+        self.fail_node(address)
+        self.nodes.pop(address, None)
+
+    def node(self, address: str) -> P2Node:
+        try:
+            return self.nodes[address]
+        except KeyError:
+            raise SimulationError(f"unknown node {address!r}") from None
+
+    def alive_nodes(self) -> List[P2Node]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def random_alive_node(self) -> P2Node:
+        alive = self.alive_nodes()
+        if not alive:
+            raise SimulationError("no alive nodes")
+        return self._rng.choice(alive)
+
+    # -- time -----------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.loop.now
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by *duration* seconds."""
+        self.loop.run_for(duration)
+
+    def run_until(self, deadline: float) -> None:
+        self.loop.run_until(deadline)
+
+    def schedule(self, delay: float, callback: Callable[[], None]):
+        return self.loop.schedule(delay, callback)
+
+    # -- convenience ------------------------------------------------------------------
+    def inject(self, address: str, tup: Tuple) -> None:
+        self.node(address).inject(tup)
+
+    def broadcast_fact(self, make_tuple: Callable[[P2Node], Tuple]) -> None:
+        """Install one application fact per node (e.g. a landmark address)."""
+        for node in self.nodes.values():
+            node.route(make_tuple(node))
+
+
+def transit_stub_simulation(
+    program: "ast.Program | str",
+    *,
+    domains: int = 10,
+    seed: int = 0,
+    id_bits: int = 32,
+    loss_rate: float = 0.0,
+    classifier: Optional[Callable[[Tuple], str]] = None,
+) -> OverlaySimulation:
+    """A simulation configured like the paper's Emulab testbed (Section 5)."""
+    return OverlaySimulation(
+        program,
+        topology=TransitStubTopology(domains=domains, seed=seed),
+        loss_rate=loss_rate,
+        seed=seed,
+        id_bits=id_bits,
+        classifier=classifier,
+    )

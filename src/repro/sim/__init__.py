@@ -1,0 +1,18 @@
+"""Discrete-event simulation infrastructure: event loop, churn, workloads, metrics."""
+
+from .churn import ChurnProcess, ChurnStats
+from .event_loop import EventHandle, EventLoop
+from .metrics import BandwidthMeter, ConsistencyOracle, LookupRecord, LookupTracker
+from .workload import LookupWorkload
+
+__all__ = [
+    "EventLoop",
+    "EventHandle",
+    "ChurnProcess",
+    "ChurnStats",
+    "BandwidthMeter",
+    "ConsistencyOracle",
+    "LookupRecord",
+    "LookupTracker",
+    "LookupWorkload",
+]

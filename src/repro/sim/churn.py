@@ -1,0 +1,100 @@
+"""Membership churn, following the Bamboo methodology the paper cites.
+
+Section 5.2 churns a 400-node Chord network for 20 minutes with median
+session times between 8 and 128 minutes.  The Bamboo methodology keeps the
+population roughly constant: node lifetimes are drawn from an exponential
+distribution whose mean is the session time, and every departure is paired
+with a fresh join, so the churn *rate* is ``N / session_time`` events per
+second in each direction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from .event_loop import EventLoop
+
+
+@dataclass
+class ChurnStats:
+    joins: int = 0
+    failures: int = 0
+    events: List[float] = field(default_factory=list)
+
+
+class ChurnProcess:
+    """Drives continuous join/fail churn against an overlay under test.
+
+    Parameters
+    ----------
+    loop:
+        The simulation's event loop.
+    session_time:
+        Mean node session length in (simulated) seconds.
+    list_members:
+        Callable returning the addresses of currently-alive overlay members.
+    fail_member:
+        Callable that crash-stops the named member.
+    add_member:
+        Callable that adds (and joins) one fresh member.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        *,
+        session_time: float,
+        list_members: Callable[[], List[str]],
+        fail_member: Callable[[str], None],
+        add_member: Callable[[], object],
+        seed: int = 0,
+    ):
+        if session_time <= 0:
+            raise ValueError("session time must be positive")
+        self._loop = loop
+        self.session_time = session_time
+        self._list_members = list_members
+        self._fail_member = fail_member
+        self._add_member = add_member
+        self._rng = random.Random(seed)
+        self._running = False
+        self.stats = ChurnStats()
+
+    # -- control -------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin churning: each churn event fails one member and adds one."""
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals ------------------------------------------------------------------
+    def _mean_interval(self) -> float:
+        population = max(len(self._list_members()), 1)
+        # One failure (and one compensating join) every session_time/N seconds
+        # keeps the expected session length at session_time.
+        return self.session_time / population
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        delay = self._rng.expovariate(1.0 / self._mean_interval())
+        self._loop.schedule(delay, self._churn_once)
+
+    def _churn_once(self) -> None:
+        if not self._running:
+            return
+        members = self._list_members()
+        if len(members) > 1:
+            victim = self._rng.choice(members)
+            self._fail_member(victim)
+            self.stats.failures += 1
+            self._add_member()
+            self.stats.joins += 1
+            self.stats.events.append(self._loop.now)
+        self._schedule_next()

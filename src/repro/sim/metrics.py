@@ -1,0 +1,213 @@
+"""Measurement instruments for overlay experiments.
+
+These implement the quantities the paper's evaluation reports:
+
+* :class:`LookupTracker` — per-lookup latency, hop count, completion, and
+  consistency against a global-knowledge oracle (Figures 3(i)/(iii), 4(ii)/(iii));
+* :class:`BandwidthMeter` — per-node maintenance bandwidth in bytes/second,
+  sampled over windows (Figures 3(ii), 4(i));
+* :class:`ConsistencyOracle` — the "correct" owner of a key given the set of
+  currently-alive nodes (the Bamboo-style consistency methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.idspace import IdSpace
+from ..core.tuples import Tuple
+from .event_loop import EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance (net imports sim)
+    from ..net.transport import Network
+
+
+class ConsistencyOracle:
+    """Knows every alive node's identifier; answers "who owns key K right now"."""
+
+    def __init__(self, idspace: IdSpace, alive_ids: Callable[[], Dict[str, int]]):
+        self._idspace = idspace
+        self._alive_ids = alive_ids
+
+    def owner_id(self, key: int) -> Optional[int]:
+        ids = list(self._alive_ids().values())
+        return self._idspace.successor_of(key, ids)
+
+    def owner_address(self, key: int) -> Optional[str]:
+        members = self._alive_ids()
+        if not members:
+            return None
+        best = None
+        best_dist = None
+        for address, ident in members.items():
+            d = self._idspace.distance(key, ident)
+            if best_dist is None or d < best_dist:
+                best, best_dist = address, d
+        return best
+
+
+@dataclass
+class LookupRecord:
+    """Everything known about one issued lookup."""
+
+    event_id: Any
+    key: int
+    origin: str
+    issued_at: float
+    completed_at: Optional[float] = None
+    result_id: Optional[int] = None
+    result_address: Optional[str] = None
+    hops: int = 0
+    oracle_id: Optional[int] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+    @property
+    def consistent(self) -> bool:
+        """Did the lookup return the node the oracle says owns the key?"""
+        return self.completed and self.result_id == self.oracle_id
+
+
+class LookupTracker:
+    """Tracks issued lookups end to end.
+
+    Hop counts are measured by observing ``lookup`` tuples on the wire (each
+    forwarding of an event id is one hop); completion and consistency are
+    recorded when the matching ``lookupResults`` tuple reaches its requester,
+    with the oracle consulted *at completion time* (the live membership then).
+    """
+
+    def __init__(self, loop: EventLoop, network: "Network", oracle: ConsistencyOracle):
+        self._loop = loop
+        self._oracle = oracle
+        self.records: Dict[Any, LookupRecord] = {}
+        network.add_send_hook(self._on_send)
+
+    # -- issuing -------------------------------------------------------------------
+    def register(self, event_id: Any, key: int, origin: str) -> LookupRecord:
+        record = LookupRecord(event_id, key, origin, issued_at=self._loop.now)
+        self.records[event_id] = record
+        return record
+
+    def attach(self, node) -> None:
+        """Subscribe to a node's ``lookupResults`` stream to catch completions."""
+        node.subscribe("lookupResults", self._on_results)
+
+    # -- observation hooks ------------------------------------------------------------
+    def _on_send(self, src: str, dst: str, tup: Tuple, now: float) -> None:
+        if tup.name != "lookup" or len(tup.fields) < 4:
+            return
+        record = self.records.get(tup.fields[3])
+        if record is not None and not record.completed:
+            record.hops += 1
+
+    def _on_results(self, tup: Tuple) -> None:
+        # lookupResults(R, K, S, SI, E)
+        if len(tup.fields) < 5:
+            return
+        record = self.records.get(tup.fields[4])
+        if record is None or record.completed:
+            return
+        record.completed_at = self._loop.now
+        record.result_id = tup.fields[2]
+        record.result_address = tup.fields[3]
+        record.oracle_id = self._oracle.owner_id(record.key)
+
+    # -- summaries ---------------------------------------------------------------------
+    def completed(self) -> List[LookupRecord]:
+        return [r for r in self.records.values() if r.completed]
+
+    def completion_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return len(self.completed()) / len(self.records)
+
+    def consistent_fraction(self) -> float:
+        done = self.completed()
+        if not done:
+            return 0.0
+        return sum(1 for r in done if r.consistent) / len(done)
+
+    def latencies(self) -> List[float]:
+        return [r.latency for r in self.completed() if r.latency is not None]
+
+    def hop_counts(self, completed_only: bool = True) -> List[int]:
+        source = self.completed() if completed_only else list(self.records.values())
+        return [r.hops for r in source]
+
+    def mean_hops(self) -> float:
+        hops = self.hop_counts()
+        return sum(hops) / len(hops) if hops else 0.0
+
+
+@dataclass
+class BandwidthSample:
+    """Average per-node bandwidth over one sampling window."""
+
+    start: float
+    end: float
+    bytes_per_second_per_node: float
+    alive_nodes: int
+
+
+class BandwidthMeter:
+    """Samples per-node bandwidth of a traffic category over time windows."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: "Network",
+        category: str = "maintenance",
+        window: float = 10.0,
+        alive_count: Optional[Callable[[], int]] = None,
+    ):
+        self._loop = loop
+        self._network = network
+        self.category = category
+        self.window = window
+        self._alive_count = alive_count or (lambda: len(network.addresses()))
+        self.samples: List[BandwidthSample] = []
+        self._last_total = 0
+        self._last_time = loop.now
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._last_total = self._network.total_tx_bytes(self.category)
+        self._last_time = self._loop.now
+        self._loop.schedule(self.window, self._sample)
+
+    def _sample(self) -> None:
+        now = self._loop.now
+        total = self._network.total_tx_bytes(self.category)
+        elapsed = max(now - self._last_time, 1e-9)
+        nodes = max(self._alive_count(), 1)
+        rate = (total - self._last_total) / elapsed / nodes
+        self.samples.append(BandwidthSample(self._last_time, now, rate, nodes))
+        self._last_total = total
+        self._last_time = now
+        if self._running:
+            self._loop.schedule(self.window, self._sample)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def mean_rate(self, skip_initial: int = 0) -> float:
+        usable = self.samples[skip_initial:]
+        if not usable:
+            return 0.0
+        return sum(s.bytes_per_second_per_node for s in usable) / len(usable)
+
+    def rates(self) -> List[float]:
+        return [s.bytes_per_second_per_node for s in self.samples]

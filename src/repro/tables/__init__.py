@@ -1,0 +1,5 @@
+"""Soft-state tables with expiry, size bounds, primary keys, and indices."""
+
+from .table import INFINITY, Table, TableStats, TableStore
+
+__all__ = ["Table", "TableStats", "TableStore", "INFINITY"]

@@ -1,0 +1,330 @@
+"""Soft-state tables.
+
+A table stores tuples of one relation at one node, with the semantics the
+paper describes in Sections 2.1 and 3.2:
+
+* every tuple carries an insertion time and expires ``lifetime`` seconds later
+  (re-inserting a tuple with the same primary key refreshes it);
+* the table holds at most ``max_size`` tuples; when full the oldest tuple is
+  evicted (FIFO over insertion time);
+* each tuple has a unique primary key (field positions given by the
+  ``keys(...)`` clause of the ``materialize`` directive); inserting a tuple
+  whose key already exists replaces the previous tuple;
+* secondary in-memory indices provide fast equality lookups for equijoins;
+* listeners can observe inserts, deletes, and expirations — the dataflow
+  layer uses these for table-delta rule strands and continuous aggregates.
+
+Time is externalised: the table never reads a wall clock, it is told the
+current time by its caller (the node runtime, which in turn asks the
+simulator).  That keeps the whole system deterministic under simulation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple as PyTuple,
+)
+
+from ..core.errors import TableError
+from ..core.tuples import Tuple
+
+Key = PyTuple[Any, ...]
+Listener = Callable[[Tuple], None]
+
+INFINITY = float("inf")
+
+
+@dataclass
+class TableStats:
+    """Counters useful for tests, debugging, and the memory-footprint bench."""
+
+    inserts: int = 0
+    refreshes: int = 0
+    replacements: int = 0
+    deletes: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    lookups: int = 0
+
+
+class _SecondaryIndex:
+    """A hash index over one or more field positions."""
+
+    def __init__(self, positions: Sequence[int]):
+        self.positions = tuple(positions)
+        self._buckets: Dict[Key, Dict[Key, Tuple]] = {}
+
+    def add(self, primary_key: Key, tup: Tuple) -> None:
+        key = tup.key(self.positions)
+        self._buckets.setdefault(key, {})[primary_key] = tup
+
+    def remove(self, primary_key: Key, tup: Tuple) -> None:
+        key = tup.key(self.positions)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.pop(primary_key, None)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key: Key) -> List[Tuple]:
+        return list(self._buckets.get(tuple(key), {}).values())
+
+
+class Table:
+    """A node-local soft-state table."""
+
+    def __init__(
+        self,
+        name: str,
+        key_positions: Sequence[int],
+        lifetime: float = INFINITY,
+        max_size: float = INFINITY,
+    ):
+        if not key_positions:
+            raise TableError(f"table {name!r} needs at least one primary-key field")
+        if lifetime <= 0:
+            raise TableError(f"table {name!r}: lifetime must be positive")
+        if max_size != INFINITY and max_size < 1:
+            raise TableError(f"table {name!r}: max_size must be >= 1")
+        self.name = name
+        self.key_positions = tuple(key_positions)
+        self.lifetime = lifetime
+        self.max_size = max_size
+        self.stats = TableStats()
+        # primary store: key -> (tuple, insertion_time); ordered by insertion
+        self._rows: "OrderedDict[Key, PyTuple[Tuple, float]]" = OrderedDict()
+        self._indices: Dict[PyTuple[int, ...], _SecondaryIndex] = {}
+        self._insert_listeners: List[Listener] = []
+        self._delete_listeners: List[Listener] = []
+        self._expire_listeners: List[Listener] = []
+
+    # -- listeners -------------------------------------------------------------
+    def on_insert(self, fn: Listener) -> None:
+        """Call *fn* with each tuple inserted (or refreshed) into the table."""
+        self._insert_listeners.append(fn)
+
+    def on_delete(self, fn: Listener) -> None:
+        """Call *fn* with each tuple explicitly deleted or evicted."""
+        self._delete_listeners.append(fn)
+
+    def on_expire(self, fn: Listener) -> None:
+        """Call *fn* with each tuple that times out."""
+        self._expire_listeners.append(fn)
+
+    # -- indices ---------------------------------------------------------------
+    def add_index(self, positions: Sequence[int]) -> None:
+        """Create a secondary hash index on *positions* (idempotent)."""
+        key = tuple(positions)
+        if key in self._indices or key == self.key_positions:
+            return
+        index = _SecondaryIndex(key)
+        for pk, (tup, _) in self._rows.items():
+            index.add(pk, tup)
+        self._indices[key] = index
+
+    def has_index(self, positions: Sequence[int]) -> bool:
+        key = tuple(positions)
+        return key == self.key_positions or key in self._indices
+
+    # -- core operations ---------------------------------------------------------
+    def primary_key(self, tup: Tuple) -> Key:
+        try:
+            return tup.key(self.key_positions)
+        except Exception as exc:
+            raise TableError(
+                f"tuple {tup!r} does not fit table {self.name!r} key {self.key_positions}"
+            ) from exc
+
+    def insert(self, tup: Tuple, now: float) -> bool:
+        """Insert (or refresh) *tup* at time *now*.
+
+        Returns True if the table contents changed or the tuple was refreshed;
+        in either case insert listeners fire (P2 propagates deltas on refresh,
+        which is what keeps soft state alive across the overlay).
+        """
+        if tup.name != self.name:
+            raise TableError(f"tuple {tup.name!r} inserted into table {self.name!r}")
+        self.expire(now)
+        pk = self.primary_key(tup)
+        existing = self._rows.get(pk)
+        if existing is not None:
+            old_tup, _ = existing
+            self._remove_from_indices(pk, old_tup)
+            del self._rows[pk]
+            if old_tup == tup:
+                self.stats.refreshes += 1
+            else:
+                self.stats.replacements += 1
+        else:
+            self.stats.inserts += 1
+        self._rows[pk] = (tup, now)
+        self._add_to_indices(pk, tup)
+        self._enforce_size()
+        for fn in self._insert_listeners:
+            fn(tup)
+        return True
+
+    def delete(self, tup: Tuple, now: float) -> bool:
+        """Delete the tuple with *tup*'s primary key.  Returns True if present."""
+        self.expire(now)
+        pk = self.primary_key(tup)
+        entry = self._rows.pop(pk, None)
+        if entry is None:
+            return False
+        stored, _ = entry
+        self._remove_from_indices(pk, stored)
+        self.stats.deletes += 1
+        for fn in self._delete_listeners:
+            fn(stored)
+        return True
+
+    def delete_by_key(self, key: Key, now: float) -> Optional[Tuple]:
+        """Delete by primary key value; returns the removed tuple if any."""
+        self.expire(now)
+        entry = self._rows.pop(tuple(key), None)
+        if entry is None:
+            return None
+        stored, _ = entry
+        self._remove_from_indices(tuple(key), stored)
+        self.stats.deletes += 1
+        for fn in self._delete_listeners:
+            fn(stored)
+        return stored
+
+    def expire(self, now: float) -> List[Tuple]:
+        """Drop tuples older than the table lifetime; returns what was dropped."""
+        if self.lifetime == INFINITY or not self._rows:
+            return []
+        expired: List[Tuple] = []
+        cutoff = now - self.lifetime
+        for pk in list(self._rows.keys()):
+            tup, inserted_at = self._rows[pk]
+            if inserted_at <= cutoff:
+                del self._rows[pk]
+                self._remove_from_indices(pk, tup)
+                expired.append(tup)
+        if expired:
+            self.stats.expirations += len(expired)
+            for tup in expired:
+                for fn in self._expire_listeners:
+                    fn(tup)
+        return expired
+
+    # -- queries -----------------------------------------------------------------
+    def lookup(self, positions: Sequence[int], key: Sequence[Any], now: float) -> List[Tuple]:
+        """All live tuples whose fields at *positions* equal *key*.
+
+        Uses the primary key or a secondary index when one exists, otherwise
+        scans (and the planner will have created indices for every equijoin
+        key, so scans only happen for ad-hoc queries).
+        """
+        self.expire(now)
+        self.stats.lookups += 1
+        positions = tuple(positions)
+        key = tuple(key)
+        if positions == self.key_positions:
+            entry = self._rows.get(key)
+            return [entry[0]] if entry else []
+        index = self._indices.get(positions)
+        if index is not None:
+            return index.lookup(key)
+        return [
+            tup
+            for tup, _ in self._rows.values()
+            if tup.key(positions) == key
+        ]
+
+    def scan(self, now: float) -> List[Tuple]:
+        """All live tuples."""
+        self.expire(now)
+        return [tup for tup, _ in self._rows.values()]
+
+    def get(self, key: Sequence[Any], now: float) -> Optional[Tuple]:
+        """The tuple with primary key *key*, if present."""
+        self.expire(now)
+        entry = self._rows.get(tuple(key))
+        return entry[0] if entry else None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Tuple]:
+        return iter(tup for tup, _ in self._rows.values())
+
+    def __contains__(self, tup: Tuple) -> bool:
+        entry = self._rows.get(self.primary_key(tup))
+        return entry is not None and entry[0] == tup
+
+    # -- internals -----------------------------------------------------------------
+    def _add_to_indices(self, pk: Key, tup: Tuple) -> None:
+        for index in self._indices.values():
+            index.add(pk, tup)
+
+    def _remove_from_indices(self, pk: Key, tup: Tuple) -> None:
+        for index in self._indices.values():
+            index.remove(pk, tup)
+
+    def _enforce_size(self) -> None:
+        if self.max_size == INFINITY:
+            return
+        while len(self._rows) > self.max_size:
+            pk, (tup, _) = next(iter(self._rows.items()))
+            del self._rows[pk]
+            self._remove_from_indices(pk, tup)
+            self.stats.evictions += 1
+            for fn in self._delete_listeners:
+                fn(tup)
+
+    def __repr__(self) -> str:
+        return (
+            f"Table({self.name!r}, rows={len(self._rows)}, "
+            f"keys={self.key_positions}, lifetime={self.lifetime})"
+        )
+
+
+class TableStore:
+    """The collection of tables at one node, keyed by relation name."""
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Table] = {}
+
+    def create(
+        self,
+        name: str,
+        key_positions: Sequence[int],
+        lifetime: float = INFINITY,
+        max_size: float = INFINITY,
+    ) -> Table:
+        if name in self._tables:
+            raise TableError(f"table {name!r} already exists")
+        table = Table(name, key_positions, lifetime, max_size)
+        self._tables[name] = table
+        return table
+
+    def get(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableError(f"unknown table {name!r}") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self._tables.values())

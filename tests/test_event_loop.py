@@ -1,0 +1,94 @@
+"""Tests for the discrete-event loop (repro.sim.event_loop)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.errors import SimulationError
+from repro.sim import EventLoop
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.0, lambda: seen.append("b"))
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(3.0, lambda: seen.append("c"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        seen = []
+        for i in range(5):
+            loop.schedule(1.0, lambda i=i: seen.append(i))
+        loop.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventLoop().schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_cancellation(self):
+        loop = EventLoop()
+        seen = []
+        handle = loop.schedule(1.0, lambda: seen.append("x"))
+        handle.cancel()
+        assert handle.cancelled
+        loop.run()
+        assert seen == []
+
+    def test_nested_scheduling(self):
+        loop = EventLoop()
+        seen = []
+
+        def outer():
+            seen.append(("outer", loop.now))
+            loop.schedule(0.5, lambda: seen.append(("inner", loop.now)))
+
+        loop.schedule(1.0, outer)
+        loop.run()
+        assert seen == [("outer", 1.0), ("inner", 1.5)]
+
+    def test_run_until_advances_clock_even_if_idle(self):
+        loop = EventLoop()
+        loop.run_until(42.0)
+        assert loop.now == 42.0
+
+    def test_run_until_leaves_later_events(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(5.0, lambda: seen.append(5))
+        loop.run_until(2.0)
+        assert seen == [1]
+        assert loop.pending() == 1
+        loop.run_for(10.0)
+        assert seen == [1, 5]
+
+    def test_run_until_past_deadline_rejected(self):
+        loop = EventLoop(start_time=5.0)
+        with pytest.raises(SimulationError):
+            loop.run_until(1.0)
+
+    def test_run_max_events(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.schedule(i, lambda: None)
+        assert loop.run(max_events=4) == 4
+        assert loop.pending() == 6
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
+    def test_clock_is_monotonic(self, delays):
+        loop = EventLoop()
+        observed = []
+        for d in delays:
+            loop.schedule(d, lambda: observed.append(loop.now))
+        loop.run()
+        assert observed == sorted(observed)

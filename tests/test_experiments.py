@@ -1,0 +1,82 @@
+"""Tests for the end-to-end experiment drivers (Figure 3 / Figure 4 harness).
+
+These run the same code paths as the benchmark harness, at deliberately tiny
+scale, so regressions in the measurement pipeline (oracle, tracker, meter,
+churn wiring) are caught by the fast test suite rather than only by the
+multi-minute benchmarks.
+"""
+
+import pytest
+
+from repro.experiments import run_churn_experiment, run_static_experiment
+
+
+@pytest.fixture(scope="module")
+def static_result():
+    return run_static_experiment(
+        8,
+        seed=3,
+        stabilization_time=150.0,
+        idle_measurement_time=40.0,
+        lookup_count=30,
+        lookup_rate=3.0,
+        drain_time=20.0,
+        domains=4,
+    )
+
+
+class TestStaticExperiment:
+    def test_ring_and_lookups_are_healthy(self, static_result):
+        assert static_result.ring_consistency >= 0.9
+        assert static_result.completion_rate >= 0.9
+        assert static_result.consistent_fraction >= 0.9
+
+    def test_maintenance_bandwidth_is_positive_and_bounded(self, static_result):
+        assert 0 < static_result.maintenance_bytes_per_second < 20_000
+
+    def test_hop_counts_are_reasonable(self, static_result):
+        assert static_result.hop_counts
+        assert 0 <= static_result.mean_hops() <= 8
+        freqs = static_result.hop_histogram(max_hops=8)
+        assert sum(freqs.values()) == pytest.approx(1.0)
+
+    def test_latency_cdf_shape(self, static_result):
+        points = static_result.latency_cdf(points=5)
+        assert points[-1][1] == 1.0
+        assert all(a[0] <= b[0] for a, b in zip(points, points[1:]))
+
+    def test_summary_keys(self, static_result):
+        summary = static_result.summary()
+        assert summary["population"] == 8
+        assert "latency_mean" in summary and "maintenance_Bps_per_node" in summary
+
+
+class TestChurnExperiment:
+    @pytest.fixture(scope="class")
+    def churn_result(self):
+        return run_churn_experiment(
+            8,
+            session_time=150.0,
+            seed=4,
+            stabilization_time=120.0,
+            churn_duration=100.0,
+            lookup_rate=2.0,
+            drain_time=20.0,
+            domains=4,
+            program_kwargs={"stabilize_period": 5.0, "succ_lifetime": 4.0,
+                            "ping_period": 2.0, "finger_period": 5.0},
+        )
+
+    def test_churn_actually_happened(self, churn_result):
+        assert churn_result.churn_events > 0
+        assert churn_result.lookups_issued > 0
+
+    def test_some_lookups_complete_under_churn(self, churn_result):
+        assert churn_result.completion_rate > 0.2
+
+    def test_summary_and_cdf(self, churn_result):
+        summary = churn_result.summary()
+        assert summary["session_time"] == 150.0
+        assert summary["churn_events"] == churn_result.churn_events
+        points = churn_result.latency_cdf(points=5)
+        assert all(0 <= f <= 1 for _, f in points)

@@ -1,0 +1,131 @@
+"""Tests for the simulated network and topologies (repro.net)."""
+
+import pytest
+
+from repro.core import Tuple
+from repro.core.errors import NetworkError
+from repro.net import (
+    LatencyMatrixTopology,
+    Network,
+    TransitStubTopology,
+    UniformTopology,
+    PACKET_OVERHEAD_BYTES,
+)
+from repro.sim import EventLoop
+
+
+class FakeNode:
+    def __init__(self, address):
+        self.address = address
+        self.received = []
+
+    def receive(self, tup):
+        self.received.append(tup)
+
+
+def make_net(topology=None, **kwargs):
+    loop = EventLoop()
+    net = Network(loop, topology or UniformTopology(latency=0.05), **kwargs)
+    a, b = FakeNode("a"), FakeNode("b")
+    net.register(a)
+    net.register(b)
+    return loop, net, a, b
+
+
+class TestTopologies:
+    def test_uniform(self):
+        topo = UniformTopology(latency=0.01)
+        assert topo.latency(0, 0) == 0.0
+        assert topo.latency(0, 1) == 0.01
+
+    def test_transit_stub_latencies(self):
+        topo = TransitStubTopology(domains=10, intra_domain_latency=0.002,
+                                   inter_domain_latency=0.1)
+        # nodes 0 and 10 share domain 0; nodes 0 and 1 are in different domains
+        assert topo.latency(0, 10) == pytest.approx(0.004)
+        assert topo.latency(0, 1) == pytest.approx(0.104)
+        assert topo.latency(3, 3) == 0.0
+
+    def test_transit_stub_jitter_is_deterministic_and_symmetric(self):
+        topo = TransitStubTopology(jitter_fraction=0.2, seed=7)
+        assert topo.latency(0, 5) == topo.latency(5, 0)
+        assert topo.latency(0, 5) == TransitStubTopology(jitter_fraction=0.2, seed=7).latency(0, 5)
+
+    def test_transit_stub_needs_domains(self):
+        with pytest.raises(NetworkError):
+            TransitStubTopology(domains=0)
+
+    def test_latency_matrix(self):
+        topo = LatencyMatrixTopology([[0, 1], [2, 0]])
+        assert topo.latency(1, 0) == 2
+        with pytest.raises(NetworkError):
+            topo.latency(5, 0)
+        with pytest.raises(NetworkError):
+            LatencyMatrixTopology([[0, 1]])
+
+
+class TestNetwork:
+    def test_delivery_with_latency(self):
+        loop, net, a, b = make_net()
+        net.send("a", "b", Tuple.make("ping", "b", "a"))
+        assert b.received == []
+        loop.run()
+        assert loop.now == pytest.approx(0.05)
+        assert b.received[0].name == "ping"
+
+    def test_unknown_source_rejected(self):
+        loop, net, a, b = make_net()
+        with pytest.raises(NetworkError):
+            net.send("zzz", "b", Tuple.make("x", 1))
+
+    def test_unknown_destination_drops(self):
+        loop, net, a, b = make_net()
+        assert net.send("a", "nowhere", Tuple.make("x", 1)) is False
+        assert net.messages_dropped == 1
+
+    def test_duplicate_registration_rejected(self):
+        loop, net, a, b = make_net()
+        with pytest.raises(NetworkError):
+            net.register(FakeNode("a"))
+
+    def test_dead_node_does_not_receive(self):
+        loop, net, a, b = make_net()
+        net.set_alive("b", False)
+        net.send("a", "b", Tuple.make("x", 1))
+        loop.run()
+        assert b.received == []
+        assert net.messages_dropped == 1
+        assert not net.is_alive("b")
+
+    def test_loss_rate_drops_messages(self):
+        loop, net, a, b = make_net(loss_rate=1.0)
+        assert net.send("a", "b", Tuple.make("x", 1)) is False
+
+    def test_byte_accounting_and_categories(self):
+        loop, net, a, b = make_net(
+            classifier=lambda t: "lookup" if t.name == "lookup" else "maintenance"
+        )
+        net.send("a", "b", Tuple.make("lookup", "b", 42))
+        net.send("a", "b", Tuple.make("stabilize", "b"))
+        loop.run()
+        stats_a = net.stats_for("a")
+        assert stats_a.tx_messages == 2
+        assert stats_a.tx_bytes > 2 * PACKET_OVERHEAD_BYTES
+        assert set(stats_a.tx_bytes_by_category) == {"lookup", "maintenance"}
+        assert net.total_tx_bytes("lookup") > 0
+        assert net.total_tx_bytes() == stats_a.tx_bytes
+        assert net.stats_for("b").rx_messages == 2
+
+    def test_send_hooks_observe_traffic(self):
+        loop, net, a, b = make_net()
+        seen = []
+        net.add_send_hook(lambda src, dst, tup, t: seen.append((src, dst, tup.name)))
+        net.send("a", "b", Tuple.make("ping", "b"))
+        assert seen == [("a", "b", "ping")]
+
+    def test_addresses_listing(self):
+        loop, net, a, b = make_net()
+        assert set(net.addresses()) == {"a", "b"}
+        net.unregister("b")
+        assert set(net.addresses()) == {"a"}
+        assert set(net.addresses(alive_only=False)) == {"a", "b"}

@@ -1,0 +1,199 @@
+"""Tests for the PEL compiler and virtual machine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import IdSpace
+from repro.core.errors import PELError
+from repro.overlog import ast, parse_expression
+from repro.overlog.builtins import make_builtins
+from repro.pel import EvalContext, Op, Program, VM, compile_expression, run
+
+
+def evaluate(text, fields=(), schema=None, node=None, bits=32):
+    """Parse an OverLog expression, compile it, run it on *fields*."""
+    expr = parse_expression(text)
+    program = compile_expression(expr, schema or {})
+    ctx = EvalContext(
+        fields=fields,
+        builtins=make_builtins(),
+        node=node,
+        idspace=IdSpace(bits=bits),
+    )
+    return VM.execute(program, ctx)
+
+
+class TestProgramBasics:
+    def test_emit_and_len(self):
+        p = Program().emit(Op.PUSH, 1).emit(Op.PUSH, 2).emit(Op.ADD)
+        assert len(p) == 3
+
+    def test_disassemble_mentions_opcodes(self):
+        p = Program(source="1 + 2").emit(Op.PUSH, 1).emit(Op.PUSH, 2).emit(Op.ADD)
+        text = p.disassemble()
+        assert "push" in text and "add" in text and "1 + 2" in text
+
+    def test_run_empty_program_returns_none(self):
+        assert run(Program()) is None
+
+
+class TestArithmetic:
+    def test_constant_folding_path(self):
+        assert evaluate("1 + 2 * 3") == 7
+
+    def test_precedence_and_parens(self):
+        assert evaluate("(1 + 2) * 3") == 9
+
+    def test_subtraction_and_division(self):
+        assert evaluate("10 - 4") == 6
+        assert evaluate("9 / 2") == 4.5
+
+    def test_modulo_and_shifts(self):
+        assert evaluate("10 % 3") == 1
+        assert evaluate("1 << 4") == 16
+        assert evaluate("16 >> 2") == 4
+
+    def test_unary_minus(self):
+        assert evaluate("0 - 5") == -5
+
+    def test_string_concatenation(self):
+        expr = ast.BinaryOp("+", ast.Constant("a"), ast.Constant("b"))
+        assert run(compile_expression(expr, {})) == "ab"
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PELError):
+            evaluate("1 / 0")
+
+    def test_int_arithmetic_stays_int(self):
+        assert isinstance(evaluate("2 + 3"), int)
+
+
+class TestComparisonsAndBooleans:
+    def test_comparisons(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <= 2") is True
+        assert evaluate("3 > 4") is False
+        assert evaluate("3 >= 4") is False
+        assert evaluate('"a" == "a"') is True
+        assert evaluate("1 != 2") is True
+
+    def test_logical_ops(self):
+        assert evaluate("(1 < 2) && (2 < 3)") is True
+        assert evaluate("(1 > 2) || (2 < 3)") is True
+        assert evaluate("(1 > 2) || (3 < 3)") is False
+
+    def test_not(self):
+        assert evaluate("!(1 == 1)") is False
+
+
+class TestVariablesAndFields:
+    def test_load_fields_through_schema(self):
+        assert evaluate("X + Y", fields=(3, 4), schema={"X": 0, "Y": 1}) == 7
+
+    def test_unbound_variable_is_compile_error(self):
+        with pytest.raises(PELError):
+            compile_expression(parse_expression("X + 1"), {})
+
+    def test_load_out_of_range_is_runtime_error(self):
+        program = compile_expression(parse_expression("X"), {"X": 5})
+        with pytest.raises(PELError):
+            VM.execute(program, EvalContext(fields=(1,)))
+
+    def test_wildcard_rejected_in_expression(self):
+        with pytest.raises(PELError):
+            compile_expression(ast.DontCare(), {})
+
+
+class TestRangeTests:
+    def test_open_closed_interval(self):
+        assert evaluate("5 in (1, 5]") is True
+        assert evaluate("1 in (1, 5]") is False
+        assert evaluate("3 in (1, 5)") is True
+
+    def test_wraparound_interval(self):
+        # ring of 256 points: (250, 10] wraps through 0
+        assert evaluate("2 in (250, 10]", bits=8) is True
+        assert evaluate("100 in (250, 10]", bits=8) is False
+
+    def test_closed_open(self):
+        assert evaluate("1 in [1, 5)") is True
+        assert evaluate("5 in [1, 5)") is False
+
+
+class TestBuiltins:
+    def test_unknown_builtin_raises(self):
+        with pytest.raises(PELError):
+            evaluate("f_noSuchFunction()")
+
+    def test_f_now_without_node_is_zero(self):
+        assert evaluate("f_now()") == 0.0
+
+    def test_f_sha1_deterministic_and_in_range(self):
+        a = evaluate('f_sha1("node1")', bits=16)
+        b = evaluate('f_sha1("node1")', bits=16)
+        assert a == b
+        assert 0 <= a < (1 << 16)
+
+    def test_ring_builtins(self):
+        assert evaluate("f_wrap(260)", bits=8) == 4
+        assert evaluate("f_pow2(5)") == 32
+        assert evaluate("f_dist(250, 5)", bits=8) == 11
+        assert evaluate("f_fingerKey(200, 7)", bits=8) == (200 + 128) % 256
+
+    def test_node_dependent_builtins(self):
+        class FakeNode:
+            address = "addr-1"
+            node_id = 42
+
+            def now(self):
+                return 12.5
+
+            class rng:  # noqa: D106 - minimal stub
+                @staticmethod
+                def random():
+                    return 0.25
+
+                @staticmethod
+                def randint(a, b):
+                    return a
+
+        node = FakeNode()
+        assert evaluate("f_now()", node=node) == 12.5
+        assert evaluate("f_rand()", node=node) == 0.25
+        assert evaluate("f_coinFlip(0.5)", node=node) is True
+        assert evaluate("f_coinFlip(0.1)", node=node) is False
+        assert evaluate("f_localAddr()", node=node) == "addr-1"
+        assert evaluate("f_localId()", node=node) == 42
+
+    def test_node_builtins_without_node_raise(self):
+        with pytest.raises(PELError):
+            evaluate("f_rand()")
+
+    def test_conversions_and_minmax(self):
+        assert evaluate("f_int(3.7)") == 3
+        assert evaluate("f_float(2)") == 2.0
+        assert evaluate('f_str(5)') == "5"
+        assert evaluate("f_max(3, 9)") == 9
+        assert evaluate("f_min(3, 9)") == 3
+
+
+class TestPropertyBased:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_addition_matches_python(self, a, b):
+        expr = ast.BinaryOp("+", ast.Constant(a), ast.Constant(b))
+        assert run(compile_expression(expr, {})) == a + b
+
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255))
+    def test_range_test_matches_idspace(self, v, lo, hi):
+        ring = IdSpace(bits=8)
+        expr = ast.RangeTest(
+            ast.Constant(v), ast.Constant(lo), ast.Constant(hi), False, True
+        )
+        got = run(compile_expression(expr, {}), idspace=ring)
+        assert got == ring.between_open_closed(v, lo, hi)
+
+    @given(st.integers(-5000, 5000), st.integers(-5000, 5000))
+    def test_comparison_consistency(self, a, b):
+        lt = run(compile_expression(ast.BinaryOp("<", ast.Constant(a), ast.Constant(b)), {}))
+        ge = run(compile_expression(ast.BinaryOp(">=", ast.Constant(a), ast.Constant(b)), {}))
+        assert lt != ge

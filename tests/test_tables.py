@@ -1,0 +1,227 @@
+"""Tests for soft-state tables (repro.tables)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import Tuple
+from repro.core.errors import TableError
+from repro.tables import INFINITY, Table, TableStore
+
+
+def member(addr, seq=0):
+    return Tuple.make("member", "local", addr, seq)
+
+
+class TestBasicOperations:
+    def test_insert_and_scan(self):
+        t = Table("member", key_positions=[1])
+        t.insert(member("a"), now=0.0)
+        t.insert(member("b"), now=0.0)
+        assert len(t) == 2
+        assert sorted(x[1] for x in t.scan(0.0)) == ["a", "b"]
+
+    def test_wrong_relation_rejected(self):
+        t = Table("member", key_positions=[1])
+        with pytest.raises(TableError):
+            t.insert(Tuple.make("other", 1), now=0.0)
+
+    def test_primary_key_replacement(self):
+        t = Table("member", key_positions=[1])
+        t.insert(member("a", 1), now=0.0)
+        t.insert(member("a", 2), now=1.0)
+        assert len(t) == 1
+        assert t.get(("a",), now=1.0)[2] == 2
+        assert t.stats.replacements == 1
+
+    def test_refresh_same_tuple(self):
+        t = Table("member", key_positions=[1])
+        t.insert(member("a", 1), now=0.0)
+        t.insert(member("a", 1), now=5.0)
+        assert t.stats.refreshes == 1
+
+    def test_delete(self):
+        t = Table("member", key_positions=[1])
+        t.insert(member("a"), now=0.0)
+        assert t.delete(member("a"), now=0.0) is True
+        assert t.delete(member("a"), now=0.0) is False
+        assert len(t) == 0
+
+    def test_delete_by_key(self):
+        t = Table("member", key_positions=[1])
+        t.insert(member("a", 3), now=0.0)
+        removed = t.delete_by_key(("a",), now=0.0)
+        assert removed[2] == 3
+        assert t.delete_by_key(("a",), now=0.0) is None
+
+    def test_contains(self):
+        t = Table("member", key_positions=[1])
+        tup = member("a")
+        t.insert(tup, now=0.0)
+        assert tup in t
+        assert member("b") not in t
+
+    def test_bad_construction(self):
+        with pytest.raises(TableError):
+            Table("x", key_positions=[])
+        with pytest.raises(TableError):
+            Table("x", key_positions=[0], lifetime=0)
+        with pytest.raises(TableError):
+            Table("x", key_positions=[0], max_size=0)
+
+
+class TestSoftState:
+    def test_expiry(self):
+        t = Table("member", key_positions=[1], lifetime=10.0)
+        t.insert(member("a"), now=0.0)
+        t.insert(member("b"), now=5.0)
+        assert len(t.scan(now=9.0)) == 2
+        assert [x[1] for x in t.scan(now=12.0)] == ["b"]
+        assert t.stats.expirations == 1
+
+    def test_reinsert_refreshes_lifetime(self):
+        t = Table("member", key_positions=[1], lifetime=10.0)
+        t.insert(member("a"), now=0.0)
+        t.insert(member("a"), now=8.0)
+        assert len(t.scan(now=15.0)) == 1
+        assert len(t.scan(now=19.0)) == 0
+
+    def test_expire_listeners_fire(self):
+        expired = []
+        t = Table("member", key_positions=[1], lifetime=1.0)
+        t.on_expire(expired.append)
+        t.insert(member("a"), now=0.0)
+        t.scan(now=5.0)
+        assert [x[1] for x in expired] == ["a"]
+
+    def test_size_bound_evicts_oldest(self):
+        t = Table("member", key_positions=[1], max_size=2)
+        t.insert(member("a"), now=0.0)
+        t.insert(member("b"), now=1.0)
+        t.insert(member("c"), now=2.0)
+        assert sorted(x[1] for x in t.scan(3.0)) == ["b", "c"]
+        assert t.stats.evictions == 1
+
+    def test_singleton_table_like_sequence(self):
+        # materialize(sequence, infinity, 1, keys(2)): one row, replaced on update
+        t = Table("sequence", key_positions=[0], max_size=1)
+        t.insert(Tuple.make("sequence", "n1", 0), now=0.0)
+        t.insert(Tuple.make("sequence", "n1", 1), now=1.0)
+        assert len(t) == 1
+        assert t.scan(1.0)[0][1] == 1
+
+
+class TestLookupsAndIndices:
+    def test_lookup_by_primary_key(self):
+        t = Table("member", key_positions=[1])
+        t.insert(member("a", 1), now=0.0)
+        assert t.lookup([1], ("a",), now=0.0)[0][2] == 1
+        assert t.lookup([1], ("zzz",), now=0.0) == []
+
+    def test_lookup_with_secondary_index(self):
+        t = Table("finger", key_positions=[1])
+        t.add_index([2])
+        t.insert(Tuple.make("finger", "n1", 0, "b1"), now=0.0)
+        t.insert(Tuple.make("finger", "n1", 1, "b1"), now=0.0)
+        t.insert(Tuple.make("finger", "n1", 2, "b2"), now=0.0)
+        assert len(t.lookup([2], ("b1",), now=0.0)) == 2
+        assert t.has_index([2])
+
+    def test_lookup_by_scan_when_no_index(self):
+        t = Table("finger", key_positions=[1])
+        t.insert(Tuple.make("finger", "n1", 0, "b1"), now=0.0)
+        assert len(t.lookup([2], ("b1",), now=0.0)) == 1
+
+    def test_index_added_after_rows_exist(self):
+        t = Table("finger", key_positions=[1])
+        t.insert(Tuple.make("finger", "n1", 0, "b1"), now=0.0)
+        t.add_index([2])
+        assert len(t.lookup([2], ("b1",), now=0.0)) == 1
+
+    def test_index_tracks_deletes(self):
+        t = Table("finger", key_positions=[1])
+        t.add_index([2])
+        tup = Tuple.make("finger", "n1", 0, "b1")
+        t.insert(tup, now=0.0)
+        t.delete(tup, now=0.0)
+        assert t.lookup([2], ("b1",), now=0.0) == []
+
+
+class TestListeners:
+    def test_insert_and_delete_listeners(self):
+        inserted, deleted = [], []
+        t = Table("member", key_positions=[1])
+        t.on_insert(inserted.append)
+        t.on_delete(deleted.append)
+        tup = member("a")
+        t.insert(tup, now=0.0)
+        t.delete(tup, now=0.0)
+        assert inserted == [tup]
+        assert deleted == [tup]
+
+    def test_eviction_notifies_delete_listener(self):
+        deleted = []
+        t = Table("member", key_positions=[1], max_size=1)
+        t.on_delete(deleted.append)
+        t.insert(member("a"), now=0.0)
+        t.insert(member("b"), now=1.0)
+        assert [x[1] for x in deleted] == ["a"]
+
+
+class TestTableStore:
+    def test_create_and_get(self):
+        store = TableStore()
+        store.create("member", [1], lifetime=INFINITY)
+        assert store.has("member")
+        assert store.get("member").name == "member"
+        assert store.names() == ["member"]
+
+    def test_duplicate_create_rejected(self):
+        store = TableStore()
+        store.create("member", [1])
+        with pytest.raises(TableError):
+            store.create("member", [1])
+
+    def test_unknown_get_rejected(self):
+        with pytest.raises(TableError):
+            TableStore().get("nope")
+
+    def test_total_rows(self):
+        store = TableStore()
+        store.create("a", [0])
+        store.create("b", [0])
+        store.get("a").insert(Tuple.make("a", 1), now=0.0)
+        store.get("b").insert(Tuple.make("b", 1), now=0.0)
+        store.get("b").insert(Tuple.make("b", 2), now=0.0)
+        assert store.total_rows() == 3
+
+
+class TestPropertyBased:
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers()), min_size=1, max_size=60))
+    def test_primary_key_uniqueness_invariant(self, ops):
+        """After any sequence of inserts, keys are unique and count matches."""
+        t = Table("rel", key_positions=[0])
+        for i, (key, val) in enumerate(ops):
+            t.insert(Tuple.make("rel", key, val), now=float(i))
+        keys = [tup[0] for tup in t.scan(now=float(len(ops)))]
+        assert len(keys) == len(set(keys))
+        assert set(keys) == {k for k, _ in ops}
+
+    @given(
+        st.integers(1, 5),
+        st.lists(st.integers(0, 30), min_size=1, max_size=60),
+    )
+    def test_size_bound_never_exceeded(self, cap, keys):
+        t = Table("rel", key_positions=[0], max_size=cap)
+        for i, key in enumerate(keys):
+            t.insert(Tuple.make("rel", key, i), now=float(i))
+            assert len(t) <= cap
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=50), st.floats(1, 100))
+    def test_expiry_drops_only_old_tuples(self, keys, lifetime):
+        t = Table("rel", key_positions=[0], lifetime=lifetime)
+        for i, key in enumerate(keys):
+            t.insert(Tuple.make("rel", key, i), now=float(i))
+        now = float(len(keys)) + lifetime / 2
+        for tup in t.scan(now=now):
+            # every surviving tuple was (re)inserted within the lifetime window
+            assert tup is not None

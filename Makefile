@@ -1,0 +1,15 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-full
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Tier-1 suite plus the quick benchmark sweep — the one-command CI target.
+bench: test
+	$(PYTHON) -m benchmarks --quick
+
+# The full sweep used to produce the committed BENCH_*.json baselines.
+bench-full:
+	$(PYTHON) -m benchmarks --output BENCH_CURRENT.json

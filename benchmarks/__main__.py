@@ -1,0 +1,8 @@
+"""Entry point: ``python -m benchmarks [--quick] [--output FILE]``."""
+
+import sys
+
+from benchmarks.run_benchmarks import main
+
+if __name__ == "__main__":
+    sys.exit(main())

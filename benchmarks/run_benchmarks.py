@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Stdlib-only benchmark runner with a persisted JSON trajectory.
+
+The pytest-benchmark suites under ``benchmarks/`` are great for interactive
+work, but they need a plugin and produce no artifact the next PR can compare
+against.  This runner re-executes the same workloads — engine micro-benchmarks
+(tables, PEL, event loop) plus the Figure 3 static and Figure 4 churn
+experiments — with nothing beyond the standard library, and writes
+
+    {bench_name: {"mean_s": <float>, "rounds": <int>}}
+
+to a JSON file.  ``BENCH_SEED.json`` at the repo root was captured from the
+pre-optimization engine; every subsequent PR appends a ``BENCH_PR<n>.json`` so
+the performance trajectory of the engine is tracked in-tree.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --output BENCH_PR2.json
+    python -m benchmarks --quick             # fast smoke run
+    make bench                               # tier-1 tests + quick benches
+
+``--quick`` shrinks operation counts and populations so the whole sweep
+finishes in well under a minute; full mode matches the committed baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+# The paper's Figure-4 maintenance timers, scaled as in bench_fig4_churn.py.
+MAINTENANCE_KWARGS = {
+    "stabilize_period": 5.0,
+    "succ_lifetime": 4.0,
+    "ping_period": 2.0,
+    "finger_period": 5.0,
+}
+
+
+def _timed(fn, rounds: int) -> dict:
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return {"mean_s": statistics.fmean(times), "rounds": rounds}
+
+
+# --------------------------------------------------------------------------- micro
+def bench_table_ops(quick: bool):
+    """Insert/lookup throughput on a 10k-row soft-state table.
+
+    The table has a finite lifetime, so every operation goes through the
+    expiry path; with the old eager sweep each op scanned all 10k rows.
+    The ops loop refreshes keys round-robin, so the population stays at
+    exactly 10k live rows for the whole measurement.
+    """
+    from repro.core import Tuple
+    from repro.tables import Table
+
+    rows = 10_000
+    ops = 1_000 if quick else 3_000
+    table = Table("member", key_positions=[1], lifetime=10_000.0)
+    clock = [0.0]
+    for i in range(rows):
+        clock[0] += 0.001
+        table.insert(Tuple.make("member", "n1", i, 0), clock[0])
+
+    def run():
+        now = clock[0]
+        for i in range(ops):
+            now += 0.001
+            table.insert(Tuple.make("member", "n1", i % rows, i), now)
+            table.lookup([1], (i * 7 % rows,), now)
+        clock[0] = now
+        assert len(table) == rows
+
+    return run, (2 if quick else 5)
+
+
+def bench_table_expiry_churn(quick: bool):
+    """Continuous expiry under insert churn (steady-state soft state).
+
+    Tuples live 1s and inserts advance time 1ms per op, so the table holds
+    ~1000 live rows and every insert retires old state; this is the Fig. 4
+    access pattern distilled to the table layer.
+    """
+    from repro.core import Tuple
+    from repro.tables import Table
+
+    ops = 2_000 if quick else 5_000
+    state = {"i": 0, "now": 0.0, "table": Table("ping", key_positions=[1], lifetime=1.0)}
+
+    def run():
+        table = state["table"]
+        now = state["now"]
+        i = state["i"]
+        for _ in range(ops):
+            i += 1
+            now += 0.001
+            table.insert(Tuple.make("ping", "n1", i, now), now)
+        state.update(i=i, now=now)
+
+    return run, (2 if quick else 5)
+
+
+def bench_pel_arith(quick: bool):
+    """Execute the compiled ``(X + 1) * 2 < Y`` program (one run per tuple)."""
+    from repro.overlog import parse_expression
+    from repro.overlog.builtins import make_builtins
+    from repro.pel import EvalContext, VM, compile_expression
+
+    n = 5_000 if quick else 20_000
+    program = compile_expression(parse_expression("(X + 1) * 2 < Y"), {"X": 0, "Y": 1})
+    ctx = EvalContext(fields=(21, 100), builtins=make_builtins())
+
+    def run():
+        execute = VM.execute
+        for _ in range(n):
+            execute(program, ctx)
+
+    return run, (3 if quick else 5)
+
+
+def bench_pel_ring_interval(quick: bool):
+    """The ``K in (N, S]`` interval test at the heart of Chord's lookup rules."""
+    from repro.overlog import parse_expression
+    from repro.overlog.builtins import make_builtins
+    from repro.pel import EvalContext, VM, compile_expression
+
+    n = 5_000 if quick else 20_000
+    program = compile_expression(
+        parse_expression("K in (N, S]"), {"K": 0, "N": 1, "S": 2}
+    )
+    ctx = EvalContext(fields=(150, 100, 200), builtins=make_builtins())
+
+    def run():
+        execute = VM.execute
+        for _ in range(n):
+            execute(program, ctx)
+
+    return run, (3 if quick else 5)
+
+
+def bench_event_loop(quick: bool):
+    """Schedule/cancel/drain churn with interleaved pending() bookkeeping."""
+    from repro.sim import EventLoop
+
+    n = 1_000 if quick else 4_000
+
+    def run():
+        loop = EventLoop()
+        handles = [loop.schedule(float(i % 97) + 1.0, lambda: None) for i in range(n)]
+        for i, handle in enumerate(handles):
+            if i % 2:
+                handle.cancel()
+            if i % 8 == 0:
+                loop.pending()
+        loop.run()
+        assert loop.pending() == 0
+
+    return run, (3 if quick else 5)
+
+
+# --------------------------------------------------------------------- experiments
+def bench_fig3_static(quick: bool):
+    """The Figure 3 static-membership Chord experiment (scaled population)."""
+    from repro.experiments import run_static_experiment
+
+    population = 10 if quick else 20
+
+    def run():
+        result = run_static_experiment(
+            population,
+            seed=7,
+            stabilization_time=360.0,
+            idle_measurement_time=90.0,
+            lookup_count=120,
+            lookup_rate=4.0,
+            drain_time=30.0,
+        )
+        assert result.lookups_issued > 0
+
+    return run, 1
+
+
+def bench_fig4_churn(quick: bool):
+    """The Figure 4 churn experiment (scaled population and session time)."""
+    from repro.experiments import run_churn_experiment
+
+    population = 8 if quick else 16
+
+    def run():
+        result = run_churn_experiment(
+            population,
+            120.0,
+            seed=11,
+            stabilization_time=180.0,
+            churn_duration=240.0,
+            lookup_rate=2.0,
+            drain_time=30.0,
+            program_kwargs=dict(MAINTENANCE_KWARGS),
+        )
+        assert result.lookups_issued > 0
+
+    return run, 1
+
+
+BENCHES = {
+    "micro_table_ops_10k": bench_table_ops,
+    "micro_table_expiry_churn": bench_table_expiry_churn,
+    "micro_pel_arith": bench_pel_arith,
+    "micro_pel_ring_interval": bench_pel_ring_interval,
+    "micro_event_loop_churn": bench_event_loop,
+    "fig3_static": bench_fig3_static,
+    "fig4_churn": bench_fig4_churn,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small, fast workloads")
+    parser.add_argument(
+        "--only",
+        default=None,
+        help="run only benchmarks whose name contains this substring",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="JSON output path (default: print to stdout only)",
+    )
+    args = parser.parse_args(argv)
+
+    results = {}
+    for name, factory in BENCHES.items():
+        if args.only and args.only not in name:
+            continue
+        fn, rounds = factory(args.quick)
+        print(f"[bench] {name} ({rounds} round{'s' if rounds != 1 else ''}) ...", flush=True)
+        results[name] = _timed(fn, rounds)
+        print(f"[bench] {name}: mean {results[name]['mean_s']:.6f}s", flush=True)
+
+    width = max(len(n) for n in results) if results else 0
+    print("\nname".ljust(width + 1), "mean_s      rounds")
+    for name, row in results.items():
+        print(f"{name:<{width}}  {row['mean_s']:10.6f}  {row['rounds']:6d}")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,10 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     if low == high:
         return ordered[low]
     weight = position - low
-    return ordered[low] * (1 - weight) + ordered[high] * weight
+    interpolated = ordered[low] * (1 - weight) + ordered[high] * weight
+    # Float interpolation between nearly-equal neighbours can overshoot by an
+    # ULP; clamp so the result always lies within [ordered[low], ordered[high]].
+    return min(max(interpolated, ordered[low]), ordered[high])
 
 
 def cdf(values: Sequence[float], points: int = 20) -> List[Tuple[float, float]]:

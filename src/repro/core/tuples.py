@@ -44,9 +44,13 @@ class Tuple:
     def __init__(self, name: str, fields: Sequence[Any] = ()):
         if not name or not isinstance(name, str):
             raise TupleError(f"tuple name must be a non-empty string, got {name!r}")
+        coerced = tuple(values.coerce(f) for f in fields)
         object.__setattr__(self, "name", name)
-        object.__setattr__(self, "fields", tuple(values.coerce(f) for f in fields))
-        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "fields", coerced)
+        # Precomputed: tuples are hashed on every table insert/lookup and as
+        # index keys, so paying the hash once at construction keeps the table
+        # hot path free of the lazy-initialisation branch.
+        object.__setattr__(self, "_hash", hash((name, coerced)))
 
     # -- construction helpers -------------------------------------------------
     @classmethod
@@ -104,11 +108,7 @@ class Tuple:
         )
 
     def __hash__(self) -> int:
-        h = object.__getattribute__(self, "_hash")
-        if h is None:
-            h = hash((self.name, self.fields))
-            object.__setattr__(self, "_hash", h)
-        return h
+        return self._hash
 
     # -- sizing / display --------------------------------------------------------
     def estimate_size(self) -> int:

@@ -2,7 +2,7 @@
 
 from .aggregates import AGGREGATES, get_aggregate
 from .element import Callback, Discard, Element, ElementStats, Graph, Sink
-from .flow import Demux, Dup, Filter, Mux, Queue, RoundRobin, TimedPullPush
+from .flow import DeltaBuffer, Demux, Dup, Filter, Mux, Queue, RoundRobin, TimedPullPush
 from .operators import (
     Aggregate,
     AntiJoin,
@@ -24,6 +24,7 @@ __all__ = [
     "Callback",
     "Discard",
     "Queue",
+    "DeltaBuffer",
     "Dup",
     "Mux",
     "Demux",

@@ -20,7 +20,7 @@ by queue-draining glue such as :class:`RoundRobin` and ``TimedPullPush`` in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple as PyTuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple as PyTuple
 
 from ..core.errors import DataflowError
 from ..core.tuples import Tuple
@@ -71,6 +71,16 @@ class Element:
         """Default elements are not pullable."""
         return None
 
+    def push_batch(self, tuples: Sequence[Tuple], port: int = 0) -> None:
+        """Receive a burst of tuples on *port*.
+
+        Elements that can exploit batching (queues, demultiplexers) override
+        this to do their per-push bookkeeping once per batch instead of once
+        per tuple; the default simply replays the batch through :meth:`push`.
+        """
+        for tup in tuples:
+            self.push(tup, port)
+
     def emit(self, tup: Tuple, output_port: int = 0) -> None:
         """Push *tup* to everything connected to *output_port*."""
         self.stats.emitted += 1
@@ -79,6 +89,17 @@ class Element:
             return
         for downstream, in_port in targets:
             downstream.push(tup, in_port)
+
+    def emit_batch(self, tuples: Sequence[Tuple], output_port: int = 0) -> None:
+        """Push a burst of tuples downstream with one transfer per neighbour."""
+        if not tuples:
+            return
+        self.stats.emitted += len(tuples)
+        targets = self._outputs.get(output_port)
+        if not targets:
+            return
+        for downstream, in_port in targets:
+            downstream.push_batch(tuples, in_port)
 
     # -- processing hook --------------------------------------------------------------
     def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:

@@ -148,16 +148,29 @@ class LookupJoin(PelElement):
         self.key_programs = list(key_programs)
 
     def matches(self, tup: Tuple) -> List[Tuple]:
+        return list(self._matches_iter(tup))
+
+    def _matches_iter(self, tup: Tuple) -> Iterable[Tuple]:
+        """Matching rows as a live, copy-free iterable.
+
+        Consumed to completion inside :meth:`process` before any table
+        mutation can happen (strand execution is run-to-completion and head
+        routes are applied only after the strand finishes), so skipping the
+        defensive copy is safe.
+        """
         now = self.host.now()
         if not self.table_positions:
-            return self.table.scan(now)
+            return self.table.scan_iter(now)
         key = [self._eval(p, tup.fields) for p in self.key_programs]
-        return self.table.lookup(self.table_positions, key, now)
+        return self.table.lookup_iter(self.table_positions, key, now)
 
     def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
-        out = []
-        for row in self.matches(tup):
-            out.append(Tuple(tup.name, tuple(tup.fields) + tuple(row.fields)))
+        name = tup.name
+        fields = tup.fields
+        out = [
+            Tuple(name, fields + row.fields)
+            for row in self._matches_iter(tup)
+        ]
         if not out:
             self.stats.dropped += 1
         return out
@@ -170,7 +183,7 @@ class AntiJoin(LookupJoin):
     kind = "antijoin"
 
     def process(self, tup: Tuple, port: int = 0) -> Iterable[Tuple]:
-        if self.matches(tup):
+        if next(iter(self._matches_iter(tup)), None) is not None:
             self.stats.dropped += 1
             return ()
         return (tup,)

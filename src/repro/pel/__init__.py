@@ -3,7 +3,7 @@
 from .compiler import compile_expression, constant_program, load_program
 from .opcodes import Op
 from .program import Program
-from .vm import EvalContext, PelVM, VM, run
+from .vm import EvalContext, PelVM, VM, compile_program, run
 
 __all__ = [
     "Op",
@@ -12,6 +12,7 @@ __all__ = [
     "PelVM",
     "VM",
     "run",
+    "compile_program",
     "compile_expression",
     "constant_program",
     "load_program",

@@ -4,6 +4,21 @@ A tiny stack machine; each dataflow element that is parameterised by a PEL
 program runs it once per tuple through :class:`PelVM`.  The machine is
 deliberately branch-free (PEL has no jumps), which keeps element behaviour
 easy to reason about, exactly as in the paper.
+
+Execution strategy
+------------------
+
+PEL programs are compiled by the planner once and then executed per tuple —
+often millions of times per experiment.  Instead of re-dispatching on the
+opcode of every instruction at every execution (a long ``if/elif`` chain per
+instruction), each :class:`~repro.pel.program.Program` is *closure-compiled*
+once, at load time: every instruction becomes a small Python closure that
+performs its operation and tail-calls the next instruction's closure, so the
+whole program collapses into a single callable.  ``VM.execute`` then is one
+call — the Python analogue of the paper's "tens of machine instructions per
+element hand-off" claim.  The original opcode interpreter is kept as
+:meth:`PelVM.execute_interpreted` and serves as the differential-testing
+oracle for the compiled path.
 """
 
 from __future__ import annotations
@@ -17,6 +32,12 @@ from .opcodes import Op
 from .program import Program
 
 BuiltinFunction = Callable[..., Any]
+
+#: Programs longer than this are run through the interpreter instead of the
+#: closure chain (tail-calls nest one Python frame per instruction, and real
+#: planner output is tens of instructions at most — this is purely a guard
+#: against pathological hand-built programs hitting the recursion limit).
+MAX_CHAINED_INSTRUCTIONS = 400
 
 
 class EvalContext:
@@ -57,11 +78,325 @@ class EvalContext:
         return fn(self, *args)
 
 
+# --------------------------------------------------------------------- helpers
+def _arith(a: Any, b: Any, op: str) -> Any:
+    # String concatenation mirrors P2's Value semantics for '+'.
+    if op == "+" and (isinstance(a, str) or isinstance(b, str)):
+        return values.to_str(a) + values.to_str(b)
+    fa = values.to_float(a)
+    fb = values.to_float(b)
+    if op == "+":
+        result = fa + fb
+    elif op == "-":
+        result = fa - fb
+    else:
+        result = fa * fb
+    if isinstance(a, int) and isinstance(b, int) and not isinstance(a, bool) and not isinstance(b, bool):
+        return int(result)
+    return result
+
+
+def _divide(a: Any, b: Any) -> float:
+    fb = values.to_float(b)
+    if fb == 0:
+        raise PELError("division by zero")
+    return values.to_float(a) / fb
+
+
+# ---------------------------------------------------------- closure compilation
+# Each factory takes (operand, next_step) and returns a closure
+# ``step(stack, ctx)`` that performs the instruction and tail-calls
+# ``next_step``.  The chain's terminator returns the top of the stack.
+
+def _terminator(stack: List[Any], ctx: EvalContext) -> Any:
+    return stack[-1] if stack else None
+
+
+def _c_push(operand, nxt):
+    def step(stack, ctx):
+        stack.append(operand)
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_load(operand, nxt):
+    def step(stack, ctx):
+        try:
+            stack.append(ctx.fields[operand])
+        except IndexError:
+            raise PELError(
+                f"LOAD {operand} out of range (tuple arity {len(ctx.fields)})"
+            ) from None
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_pop(operand, nxt):
+    def step(stack, ctx):
+        stack.pop()
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_dup(operand, nxt):
+    def step(stack, ctx):
+        stack.append(stack[-1])
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_binary_arith(symbol):
+    def factory(operand, nxt):
+        def step(stack, ctx):
+            b = stack.pop()
+            a = stack.pop()
+            stack.append(_arith(a, b, symbol))
+            return nxt(stack, ctx)
+        return step
+    return factory
+
+
+def _c_div(operand, nxt):
+    def step(stack, ctx):
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(_divide(a, b))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_mod(operand, nxt):
+    to_int = values.to_int
+
+    def step(stack, ctx):
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(to_int(a) % to_int(b))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_neg(operand, nxt):
+    to_float = values.to_float
+
+    def step(stack, ctx):
+        stack.append(-to_float(stack.pop()))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_shift(left):
+    def factory(operand, nxt):
+        to_int = values.to_int
+
+        def step(stack, ctx):
+            b = stack.pop()
+            a = stack.pop()
+            stack.append(to_int(a) << to_int(b) if left else to_int(a) >> to_int(b))
+            return nxt(stack, ctx)
+        return step
+    return factory
+
+
+def _c_eq(operand, nxt):
+    equal = values.equal
+
+    def step(stack, ctx):
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(equal(a, b))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_ne(operand, nxt):
+    equal = values.equal
+
+    def step(stack, ctx):
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(not equal(a, b))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_compare(check):
+    def factory(operand, nxt):
+        compare = values.compare
+
+        def step(stack, ctx):
+            b = stack.pop()
+            a = stack.pop()
+            stack.append(check(compare(a, b)))
+            return nxt(stack, ctx)
+        return step
+    return factory
+
+
+def _c_not(operand, nxt):
+    to_bool = values.to_bool
+
+    def step(stack, ctx):
+        stack.append(not to_bool(stack.pop()))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_and(operand, nxt):
+    to_bool = values.to_bool
+
+    def step(stack, ctx):
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(to_bool(a) and to_bool(b))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_or(operand, nxt):
+    to_bool = values.to_bool
+
+    def step(stack, ctx):
+        b = stack.pop()
+        a = stack.pop()
+        stack.append(to_bool(a) or to_bool(b))
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_ring(sub):
+    def factory(operand, nxt):
+        to_int = values.to_int
+
+        def step(stack, ctx):
+            b = stack.pop()
+            a = stack.pop()
+            value = to_int(a) - to_int(b) if sub else to_int(a) + to_int(b)
+            stack.append(ctx.idspace.wrap(value))
+            return nxt(stack, ctx)
+        return step
+    return factory
+
+
+def _c_ring_in(operand, nxt):
+    include_low, include_high = operand
+    to_int = values.to_int
+
+    def step(stack, ctx):
+        hi = stack.pop()
+        lo = stack.pop()
+        v = stack.pop()
+        # Range tests over non-numeric values (e.g. the "-" null address used
+        # by Chord's pred/landmark bootstrap facts) are simply false rather
+        # than an error, so rules like ((PI1 == "-") || (P in (P1, N)))
+        # behave as intended.
+        try:
+            iv = to_int(v)
+            ilo = to_int(lo)
+            ihi = to_int(hi)
+        except Exception:
+            stack.append(False)
+        else:
+            stack.append(
+                ctx.idspace.in_interval(iv, ilo, ihi, include_low, include_high)
+            )
+        return nxt(stack, ctx)
+    return step
+
+
+def _c_call(operand, nxt):
+    name, argc = operand
+
+    def step(stack, ctx):
+        if argc:
+            args = stack[-argc:]
+            del stack[-argc:]
+        else:
+            args = []
+        stack.append(ctx.call(name, args))
+        return nxt(stack, ctx)
+    return step
+
+
+_STEP_FACTORIES: Dict[Op, Callable[[Any, Callable], Callable]] = {
+    Op.PUSH: _c_push,
+    Op.LOAD: _c_load,
+    Op.POP: _c_pop,
+    Op.DUP: _c_dup,
+    Op.ADD: _c_binary_arith("+"),
+    Op.SUB: _c_binary_arith("-"),
+    Op.MUL: _c_binary_arith("*"),
+    Op.DIV: _c_div,
+    Op.MOD: _c_mod,
+    Op.NEG: _c_neg,
+    Op.SHL: _c_shift(True),
+    Op.SHR: _c_shift(False),
+    Op.EQ: _c_eq,
+    Op.NE: _c_ne,
+    Op.LT: _c_compare(lambda c: c < 0),
+    Op.LE: _c_compare(lambda c: c <= 0),
+    Op.GT: _c_compare(lambda c: c > 0),
+    Op.GE: _c_compare(lambda c: c >= 0),
+    Op.NOT: _c_not,
+    Op.AND: _c_and,
+    Op.OR: _c_or,
+    Op.RING_ADD: _c_ring(False),
+    Op.RING_SUB: _c_ring(True),
+    Op.RING_IN: _c_ring_in,
+    Op.CALL: _c_call,
+}
+
+
+def compile_program(program: Program) -> Callable[[EvalContext], Any]:
+    """Compile *program* into a single callable ``fn(ctx) -> result``.
+
+    Built back-to-front so each instruction's closure captures its successor;
+    a ``STOP`` discards the (unreachable) chain built after it.
+    """
+    if len(program.instructions) > MAX_CHAINED_INSTRUCTIONS:
+        return lambda ctx: VM.execute_interpreted(program, ctx)
+
+    step = _terminator
+    for op, operand in reversed(program.instructions):
+        if op is Op.STOP:
+            step = _terminator
+            continue
+        factory = _STEP_FACTORIES.get(op)
+        if factory is None:  # pragma: no cover - defensive
+            raise PELError(f"unhandled opcode {op!r}")
+        step = factory(operand, step)
+
+    chain = step
+    source = program.source
+
+    def run(ctx: EvalContext) -> Any:
+        try:
+            return chain([], ctx)
+        except PELError:
+            raise
+        except Exception as exc:
+            raise PELError(f"PEL execution failed ({source!r}): {exc}") from exc
+
+    return run
+
+
 class PelVM:
     """Executes :class:`~repro.pel.program.Program` objects."""
 
     def execute(self, program: Program, ctx: EvalContext) -> Any:
-        """Run *program*, returning the value left on top of the stack."""
+        """Run *program* (closure-compiled, cached on the program) on *ctx*."""
+        fn = program._compiled
+        if fn is None:
+            fn = program.compiled()
+        return fn(ctx)
+
+    def execute_interpreted(self, program: Program, ctx: EvalContext) -> Any:
+        """The original per-instruction opcode interpreter.
+
+        Kept as the reference semantics for the closure-compiled path; the
+        differential tests in ``tests/test_pel.py`` assert both agree on every
+        opcode.
+        """
         stack: List[Any] = []
         push = stack.append
         pop = stack.pop
@@ -82,16 +417,16 @@ class PelVM:
                     push(stack[-1])
                 elif op is Op.ADD:
                     b, a = pop(), pop()
-                    push(self._arith(a, b, "+"))
+                    push(_arith(a, b, "+"))
                 elif op is Op.SUB:
                     b, a = pop(), pop()
-                    push(self._arith(a, b, "-"))
+                    push(_arith(a, b, "-"))
                 elif op is Op.MUL:
                     b, a = pop(), pop()
-                    push(self._arith(a, b, "*"))
+                    push(_arith(a, b, "*"))
                 elif op is Op.DIV:
                     b, a = pop(), pop()
-                    push(self._divide(a, b))
+                    push(_divide(a, b))
                 elif op is Op.MOD:
                     b, a = pop(), pop()
                     push(values.to_int(a) % values.to_int(b))
@@ -138,10 +473,6 @@ class PelVM:
                 elif op is Op.RING_IN:
                     include_low, include_high = operand
                     hi, lo, v = pop(), pop(), pop()
-                    # Range tests over non-numeric values (e.g. the "-" null
-                    # address used by Chord's pred/landmark bootstrap facts)
-                    # are simply false rather than an error, so rules like
-                    # ((PI1 == "-") || (P in (P1, N))) behave as intended.
                     try:
                         iv = values.to_int(v)
                         ilo = values.to_int(lo)
@@ -170,30 +501,9 @@ class PelVM:
             return None
         return stack[-1]
 
-    # -- arithmetic helpers ----------------------------------------------------
-    @staticmethod
-    def _arith(a: Any, b: Any, op: str) -> Any:
-        # String concatenation mirrors P2's Value semantics for '+'.
-        if op == "+" and (isinstance(a, str) or isinstance(b, str)):
-            return values.to_str(a) + values.to_str(b)
-        fa = values.to_float(a)
-        fb = values.to_float(b)
-        if op == "+":
-            result = fa + fb
-        elif op == "-":
-            result = fa - fb
-        else:
-            result = fa * fb
-        if isinstance(a, int) and isinstance(b, int) and not isinstance(a, bool) and not isinstance(b, bool):
-            return int(result)
-        return result
-
-    @staticmethod
-    def _divide(a: Any, b: Any) -> float:
-        fb = values.to_float(b)
-        if fb == 0:
-            raise PELError("division by zero")
-        return values.to_float(a) / fb
+    # -- arithmetic helpers (kept as static methods for API compatibility) ------
+    _arith = staticmethod(_arith)
+    _divide = staticmethod(_divide)
 
 
 #: A module-level VM instance; the VM is stateless so sharing it is safe.

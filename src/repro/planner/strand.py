@@ -174,7 +174,8 @@ class ContinuousAggregateStrand:
     def recompute(self, now: float, local_address: Any) -> List[HeadRoute]:
         """Re-derive the aggregate and return routes for changed groups."""
         self.recomputations += 1
-        batch: List[Tuple] = list(self.base_table.scan(now))
+        # scan() already returns a fresh list that is safe to consume
+        batch: List[Tuple] = self.base_table.scan(now)
         for op in self.ops:
             next_batch: List[Tuple] = []
             for tup in batch:

@@ -164,6 +164,10 @@ class P2Node:
             self._handle_routes(result.routes)
 
     def _handle_routes(self, routes: Iterable[HeadRoute]) -> None:
+        # A strand's burst of locally-derived tuples is appended to the run
+        # queue as one batch (one extend) rather than tuple-by-tuple, mirroring
+        # the batched delta propagation of the dataflow layer.
+        local_batch: List[Tuple] = []
         for route in routes:
             if route.is_delete:
                 if route.destination != self.address:
@@ -172,11 +176,13 @@ class P2Node:
                     )
                 self.tables.get(route.tuple.name).delete(route.tuple, self.now())
             elif route.destination == self.address:
-                self._pending.append(route.tuple)
+                local_batch.append(route.tuple)
             else:
                 sent = self.network.send(self.address, route.destination, route.tuple)
                 if not sent:
                     self.dropped_remote_sends += 1
+        if local_batch:
+            self._pending.extend(local_batch)
 
     # ------------------------------------------------------------------ periodic events
     def _schedule_periodic(
@@ -204,6 +210,10 @@ class P2Node:
             self._schedule_periodic(spec, next_remaining, first=False)
 
         self._timers.append(self.loop.schedule(delay, fire))
+        # Periodic timers reschedule forever; prune handles whose events have
+        # already run or been cancelled so the list stays bounded.
+        if len(self._timers) > 64:
+            self._timers = [h for h in self._timers if not h.done]
 
     # ------------------------------------------------------------------ continuous aggregates
     def _wire_continuous_aggregates(self) -> None:

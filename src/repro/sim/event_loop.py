@@ -21,20 +21,34 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    done: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Returned by :meth:`EventLoop.schedule`; allows cancellation."""
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, loop: "EventLoop"):
         self._event = event
+        self._loop = loop
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.done:
+            # still sitting in the heap: update the loop's live/cancelled
+            # bookkeeping and let it compact if garbage now dominates
+            self._loop._note_cancelled()
 
     @property
     def cancelled(self) -> bool:
         return self._event.cancelled
+
+    @property
+    def done(self) -> bool:
+        """True once the event has run or been cancelled."""
+        return self._event.done or self._event.cancelled
 
     @property
     def time(self) -> float:
@@ -44,10 +58,16 @@ class EventHandle:
 class EventLoop:
     """A minimal, deterministic discrete-event loop."""
 
+    #: Compaction is considered once at least this many cancelled events are
+    #: in the heap (avoids churning tiny queues).
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = start_time
         self._queue: List[_Event] = []
         self._seq = itertools.count()
+        self._live = 0          # non-cancelled events currently in the heap
+        self._cancelled = 0     # cancelled events still occupying heap slots
         self.processed = 0
 
     @property
@@ -67,17 +87,37 @@ class EventLoop:
             )
         event = _Event(when, next(self._seq), callback)
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Live (non-cancelled) events awaiting execution — O(1)."""
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` for an event still in the heap."""
+        self._live -= 1
+        self._cancelled += 1
+        # Compact once cancelled events outnumber live ones: rebuilding the
+        # heap is O(n) and reclaims the slots, keeping pops amortized O(log n)
+        # in *live* events even under heavy timer churn.
+        if (
+            self._cancelled >= self._COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._queue = [e for e in self._queue if not e.cancelled]
+            heapq.heapify(self._queue)
+            self._cancelled = 0
 
     def step(self) -> bool:
         """Process the next event; returns False when the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.done = True
+            self._live -= 1
             self._now = event.time
             self.processed += 1
             event.callback()
@@ -92,6 +132,7 @@ class EventLoop:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                self._cancelled -= 1
                 continue
             if head.time > deadline:
                 break

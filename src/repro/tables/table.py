@@ -17,6 +17,10 @@ paper describes in Sections 2.1 and 3.2:
 Time is externalised: the table never reads a wall clock, it is told the
 current time by its caller (the node runtime, which in turn asks the
 simulator).  That keeps the whole system deterministic under simulation.
+Callers must present non-decreasing times, which every driver (event loop,
+node runtime) guarantees; expiry exploits it by keeping ``_rows`` ordered by
+insertion time and popping expired tuples from the head — amortized
+O(expired) instead of the old O(table size) sweep per operation.
 """
 
 from __future__ import annotations
@@ -76,8 +80,16 @@ class _SecondaryIndex:
             if not bucket:
                 del self._buckets[key]
 
-    def lookup(self, key: Key) -> List[Tuple]:
-        return list(self._buckets.get(tuple(key), {}).values())
+    def lookup(self, key: Key) -> Iterable[Tuple]:
+        """Live view of the matching bucket.
+
+        *key* must already be a tuple (:meth:`Table.lookup` normalises it once,
+        avoiding the old double ``tuple(key)`` conversion).  The returned dict
+        view is not copied; callers that mutate the table while iterating must
+        materialise it first — the internal join paths never do.
+        """
+        bucket = self._buckets.get(key)
+        return bucket.values() if bucket is not None else ()
 
 
 class Table:
@@ -102,7 +114,14 @@ class Table:
         self.max_size = max_size
         self.stats = TableStats()
         # primary store: key -> (tuple, insertion_time); ordered by insertion
+        # time because refreshes re-insert at the tail.  That ordering is what
+        # makes expiry amortized O(expired): expire() pops from the head and
+        # stops at the first live row instead of sweeping the whole table.
         self._rows: "OrderedDict[Key, PyTuple[Tuple, float]]" = OrderedDict()
+        # Earliest time any row may expire (a lower bound: head deletions and
+        # refreshes can leave it conservatively early, never late).  While
+        # ``now`` is below it, expire() is a single comparison.
+        self._next_expiry: float = INFINITY
         self._indices: Dict[PyTuple[int, ...], _SecondaryIndex] = {}
         self._insert_listeners: List[Listener] = []
         self._delete_listeners: List[Listener] = []
@@ -154,22 +173,27 @@ class Table:
         """
         if tup.name != self.name:
             raise TableError(f"tuple {tup.name!r} inserted into table {self.name!r}")
-        self.expire(now)
+        if now >= self._next_expiry:
+            self.expire(now)
         pk = self.primary_key(tup)
-        existing = self._rows.get(pk)
+        rows = self._rows
+        existing = rows.get(pk)
         if existing is not None:
-            old_tup, _ = existing
+            old_tup = existing[0]
             self._remove_from_indices(pk, old_tup)
-            del self._rows[pk]
+            del rows[pk]
             if old_tup == tup:
                 self.stats.refreshes += 1
             else:
                 self.stats.replacements += 1
         else:
             self.stats.inserts += 1
-        self._rows[pk] = (tup, now)
+        if not rows and self.lifetime != INFINITY:
+            self._next_expiry = now + self.lifetime
+        rows[pk] = (tup, now)
         self._add_to_indices(pk, tup)
-        self._enforce_size()
+        if len(rows) > self.max_size:
+            self._enforce_size()
         for fn in self._insert_listeners:
             fn(tup)
         return True
@@ -202,17 +226,28 @@ class Table:
         return stored
 
     def expire(self, now: float) -> List[Tuple]:
-        """Drop tuples older than the table lifetime; returns what was dropped."""
-        if self.lifetime == INFINITY or not self._rows:
+        """Drop tuples older than the table lifetime; returns what was dropped.
+
+        Amortized O(expired): ``_rows`` is ordered by insertion time, so this
+        pops from the head and stops at the first live row.  When ``now`` is
+        before ``_next_expiry`` — the common case on the hot path — it is a
+        single comparison.
+        """
+        rows = self._rows
+        if now < self._next_expiry or not rows:
             return []
         expired: List[Tuple] = []
         cutoff = now - self.lifetime
-        for pk in list(self._rows.keys()):
-            tup, inserted_at = self._rows[pk]
-            if inserted_at <= cutoff:
-                del self._rows[pk]
-                self._remove_from_indices(pk, tup)
-                expired.append(tup)
+        while rows:
+            pk, (tup, inserted_at) = next(iter(rows.items()))
+            if inserted_at > cutoff:
+                self._next_expiry = inserted_at + self.lifetime
+                break
+            del rows[pk]
+            self._remove_from_indices(pk, tup)
+            expired.append(tup)
+        else:
+            self._next_expiry = INFINITY
         if expired:
             self.stats.expirations += len(expired)
             for tup in expired:
@@ -228,30 +263,48 @@ class Table:
         scans (and the planner will have created indices for every equijoin
         key, so scans only happen for ad-hoc queries).
         """
-        self.expire(now)
+        return list(self.lookup_iter(positions, key, now))
+
+    def lookup_iter(
+        self, positions: Sequence[int], key: Sequence[Any], now: float
+    ) -> Iterable[Tuple]:
+        """Like :meth:`lookup` but without the defensive copy.
+
+        The internal join paths (``LookupJoin``/``AntiJoin``) consume the
+        result immediately without mutating the table, so handing out the
+        index's live bucket view avoids allocating a list per probe.
+        """
+        if now >= self._next_expiry:
+            self.expire(now)
         self.stats.lookups += 1
         positions = tuple(positions)
         key = tuple(key)
         if positions == self.key_positions:
             entry = self._rows.get(key)
-            return [entry[0]] if entry else []
+            return (entry[0],) if entry is not None else ()
         index = self._indices.get(positions)
         if index is not None:
             return index.lookup(key)
-        return [
+        return (
             tup
             for tup, _ in self._rows.values()
             if tup.key(positions) == key
-        ]
+        )
 
     def scan(self, now: float) -> List[Tuple]:
         """All live tuples."""
         self.expire(now)
         return [tup for tup, _ in self._rows.values()]
 
+    def scan_iter(self, now: float) -> Iterator[Tuple]:
+        """Iterate live tuples without building a list (internal hot paths)."""
+        self.expire(now)
+        return iter(tup for tup, _ in self._rows.values())
+
     def get(self, key: Sequence[Any], now: float) -> Optional[Tuple]:
         """The tuple with primary key *key*, if present."""
-        self.expire(now)
+        if now >= self._next_expiry:
+            self.expire(now)
         entry = self._rows.get(tuple(key))
         return entry[0] if entry else None
 
@@ -297,6 +350,7 @@ class TableStore:
 
     def __init__(self) -> None:
         self._tables: Dict[str, Table] = {}
+        self._sorted_names: Optional[List[str]] = None
 
     def create(
         self,
@@ -309,6 +363,7 @@ class TableStore:
             raise TableError(f"table {name!r} already exists")
         table = Table(name, key_positions, lifetime, max_size)
         self._tables[name] = table
+        self._sorted_names = None
         return table
 
     def get(self, name: str) -> Table:
@@ -321,7 +376,10 @@ class TableStore:
         return name in self._tables
 
     def names(self) -> List[str]:
-        return sorted(self._tables)
+        """Sorted table names; the sort is cached (tables are rarely created)."""
+        if self._sorted_names is None:
+            self._sorted_names = sorted(self._tables)
+        return list(self._sorted_names)
 
     def __iter__(self) -> Iterator[Table]:
         return iter(self._tables.values())

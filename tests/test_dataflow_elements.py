@@ -9,6 +9,7 @@ from repro.dataflow import (
     AntiJoin,
     Assign,
     Callback,
+    DeltaBuffer,
     Demux,
     Discard,
     Dup,
@@ -142,6 +143,76 @@ class TestGlueElements:
         for i in range(5):
             f.push(Tuple.make("x", i))
         assert [t[0] for t in sink.collected] == [3, 4]
+
+
+class TestBatchedDeltas:
+    def test_default_push_batch_replays_push(self):
+        sink = Sink()
+        sink.push_batch([Tuple.make("x", 1), Tuple.make("x", 2)])
+        assert [t[0] for t in sink.collected] == [1, 2]
+
+    def test_queue_push_batch_bulk_extends_and_counts_drops(self):
+        q = Queue(capacity=3)
+        q.push_batch([Tuple.make("x", i) for i in range(5)])
+        assert q.stats.pushed_in == 5
+        assert q.stats.dropped == 2
+        assert [q.pull()[0] for _ in range(3)] == [0, 1, 2]
+        assert q.pull() is None
+
+    def test_demux_push_batch_groups_by_relation(self):
+        demux, a, b, other = Demux(), Queue(), Queue(), Queue()
+        demux.register("alpha", a)
+        demux.register("beta", b)
+        demux.set_default(other)
+        demux.push_batch(
+            [
+                Tuple.make("alpha", 1),
+                Tuple.make("beta", 2),
+                Tuple.make("alpha", 3),
+                Tuple.make("gamma", 4),
+            ]
+        )
+        assert [t[0] for t in a._items] == [1, 3]
+        assert [t[0] for t in b._items] == [2]
+        assert [t[0] for t in other._items] == [4]
+
+    def test_demux_push_batch_preserves_arrival_order_per_consumer(self):
+        # a consumer registered for two relations must see the same
+        # interleaving the per-tuple push path would deliver
+        demux, shared = Demux(), Sink()
+        demux.register("alpha", shared)
+        demux.register("beta", shared)
+        burst = [
+            Tuple.make("alpha", 1),
+            Tuple.make("beta", 2),
+            Tuple.make("alpha", 3),
+        ]
+        demux.push_batch(burst)
+        assert [t[0] for t in shared.collected] == [1, 2, 3]
+
+    def test_delta_buffer_coalesces_burst_into_one_push(self):
+        buffer, q = DeltaBuffer(), Queue()
+        buffer.connect(q)
+        for i in range(10):
+            buffer.push(Tuple.make("delta", i))
+        assert len(q) == 0  # nothing propagated yet
+        assert len(buffer) == 10
+        moved = buffer.flush()
+        assert moved == 10
+        assert buffer.flushes == 1
+        assert len(buffer) == 0
+        assert [t[0] for t in q._items] == list(range(10))
+        assert buffer.flush() == 0  # idempotent when empty
+        assert buffer.flushes == 1
+
+    def test_delta_buffer_fans_out_batch_once_per_neighbour(self):
+        buffer, s1, s2 = DeltaBuffer(), Sink(), Sink()
+        buffer.connect(s1)
+        buffer.connect(s2)
+        buffer.push_batch([Tuple.make("delta", 1), Tuple.make("delta", 2)])
+        buffer.flush()
+        assert [t[0] for t in s1.collected] == [1, 2]
+        assert [t[0] for t in s2.collected] == [1, 2]
 
 
 class TestRelationalOperators:

@@ -84,6 +84,66 @@ class TestScheduling:
         assert loop.run(max_events=4) == 4
         assert loop.pending() == 6
 
+class TestLiveCountAndCompaction:
+    def test_pending_is_tracked_not_scanned(self):
+        loop = EventLoop()
+        handles = [loop.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert loop.pending() == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert loop.pending() == 6
+        loop.run(max_events=2)
+        assert loop.pending() == 4
+        loop.run()
+        assert loop.pending() == 0
+
+    def test_double_cancel_counts_once(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert loop.pending() == 1
+
+    def test_cancel_after_run_is_noop_on_counters(self):
+        loop = EventLoop()
+        handle = loop.schedule(1.0, lambda: None)
+        loop.run()
+        assert handle.done
+        handle.cancel()  # marks cancelled but must not corrupt bookkeeping
+        assert loop.pending() == 0
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending() == 1
+
+    def test_compaction_reclaims_cancelled_slots(self):
+        loop = EventLoop()
+        keep = [loop.schedule(1000.0, lambda: None) for _ in range(10)]
+        doomed = [loop.schedule(float(i % 50) + 1, lambda: None) for i in range(500)]
+        for h in doomed:
+            h.cancel()
+        # cancelled events dominated, so the heap must have been compacted:
+        # far fewer than the 510 scheduled slots remain (at most the 10 live
+        # events plus fewer than _COMPACT_MIN_CANCELLED stragglers)
+        assert len(loop._queue) < 10 + EventLoop._COMPACT_MIN_CANCELLED
+        assert loop.pending() == 10
+        loop.run()
+        assert loop.processed == 10
+        assert all(not h.cancelled for h in keep)
+
+    def test_cancelled_events_never_fire_after_compaction(self):
+        loop = EventLoop()
+        seen = []
+        handles = [
+            loop.schedule(float(i) + 1, lambda i=i: seen.append(i)) for i in range(300)
+        ]
+        for i, h in enumerate(handles):
+            if i % 3:
+                h.cancel()
+        loop.run()
+        assert seen == [i for i in range(300) if i % 3 == 0]
+
+
+class TestPropertyBasedScheduling:
     @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
     def test_clock_is_monotonic(self, delays):
         loop = EventLoop()

@@ -177,6 +177,124 @@ class TestBuiltins:
         assert evaluate("f_min(3, 9)") == 3
 
 
+class TestClosureCompilationDifferential:
+    """The closure-compiled execution path must agree with the opcode
+    interpreter on every opcode (results and errors alike)."""
+
+    def _contexts(self):
+        return EvalContext(
+            fields=(3, 10, 200),
+            builtins=make_builtins(),
+            idspace=IdSpace(bits=8),
+        )
+
+    # one (or more) programs exercising each opcode; stack effects chosen so
+    # the final value is observable
+    OPCODE_PROGRAMS = {
+        Op.PUSH: [[(Op.PUSH, 7)]],
+        Op.LOAD: [[(Op.LOAD, 0)], [(Op.LOAD, 2)]],
+        Op.POP: [[(Op.PUSH, 1), (Op.PUSH, 2), (Op.POP, None)]],
+        Op.DUP: [[(Op.PUSH, 4), (Op.DUP, None), (Op.ADD, None)]],
+        Op.ADD: [
+            [(Op.PUSH, 2), (Op.PUSH, 3), (Op.ADD, None)],
+            [(Op.PUSH, "a"), (Op.PUSH, "b"), (Op.ADD, None)],
+            [(Op.PUSH, 1.5), (Op.PUSH, 2), (Op.ADD, None)],
+        ],
+        Op.SUB: [[(Op.PUSH, 10), (Op.PUSH, 4), (Op.SUB, None)]],
+        Op.MUL: [[(Op.PUSH, 6), (Op.PUSH, 7), (Op.MUL, None)]],
+        Op.DIV: [[(Op.PUSH, 9), (Op.PUSH, 2), (Op.DIV, None)]],
+        Op.MOD: [[(Op.PUSH, 10), (Op.PUSH, 3), (Op.MOD, None)]],
+        Op.NEG: [[(Op.PUSH, 5), (Op.NEG, None)]],
+        Op.SHL: [[(Op.PUSH, 1), (Op.PUSH, 4), (Op.SHL, None)]],
+        Op.SHR: [[(Op.PUSH, 16), (Op.PUSH, 2), (Op.SHR, None)]],
+        Op.EQ: [[(Op.PUSH, 1), (Op.PUSH, 1), (Op.EQ, None)]],
+        Op.NE: [[(Op.PUSH, 1), (Op.PUSH, 2), (Op.NE, None)]],
+        Op.LT: [[(Op.PUSH, 1), (Op.PUSH, 2), (Op.LT, None)]],
+        Op.LE: [[(Op.PUSH, 2), (Op.PUSH, 2), (Op.LE, None)]],
+        Op.GT: [[(Op.PUSH, 3), (Op.PUSH, 4), (Op.GT, None)]],
+        Op.GE: [[(Op.PUSH, 3), (Op.PUSH, 4), (Op.GE, None)]],
+        Op.NOT: [[(Op.PUSH, True), (Op.NOT, None)]],
+        Op.AND: [[(Op.PUSH, True), (Op.PUSH, False), (Op.AND, None)]],
+        Op.OR: [[(Op.PUSH, False), (Op.PUSH, True), (Op.OR, None)]],
+        Op.RING_ADD: [[(Op.PUSH, 250), (Op.PUSH, 10), (Op.RING_ADD, None)]],
+        Op.RING_SUB: [[(Op.PUSH, 5), (Op.PUSH, 10), (Op.RING_SUB, None)]],
+        Op.RING_IN: [
+            [(Op.PUSH, 2), (Op.PUSH, 250), (Op.PUSH, 10), (Op.RING_IN, (False, True))],
+            [(Op.PUSH, 100), (Op.PUSH, 250), (Op.PUSH, 10), (Op.RING_IN, (False, True))],
+            [(Op.PUSH, "-"), (Op.PUSH, 1), (Op.PUSH, 5), (Op.RING_IN, (True, True))],
+        ],
+        Op.CALL: [
+            [(Op.PUSH, 3), (Op.PUSH, 9), (Op.CALL, ("f_max", 2))],
+            [(Op.CALL, ("f_now", 0))],
+        ],
+        Op.STOP: [[(Op.PUSH, 1), (Op.STOP, None), (Op.PUSH, 2)]],
+    }
+
+    def test_every_opcode_has_a_differential_case(self):
+        assert set(self.OPCODE_PROGRAMS) == set(Op)
+
+    @pytest.mark.parametrize(
+        "instructions",
+        [case for cases in OPCODE_PROGRAMS.values() for case in cases],
+        ids=lambda instrs: "-".join(op.name for op, _ in instrs),
+    )
+    def test_compiled_matches_interpreted(self, instructions):
+        program = Program(instructions=list(instructions))
+        compiled = VM.execute(program, self._contexts())
+        interpreted = VM.execute_interpreted(program, self._contexts())
+        assert compiled == interpreted
+        assert type(compiled) is type(interpreted)
+
+    @pytest.mark.parametrize(
+        "text,fields,schema",
+        [
+            ("(X + 1) * 2 < Y", (21, 100), {"X": 0, "Y": 1}),
+            ("K in (N, S]", (150, 100, 200), {"K": 0, "N": 1, "S": 2}),
+            ("f_sha1(A) % 16", ("node-3",), {"A": 0}),
+            ("!(X == 1) && (X >= 0 || X != 2)", (5,), {"X": 0}),
+        ],
+    )
+    def test_compiled_matches_interpreted_on_real_expressions(
+        self, text, fields, schema
+    ):
+        program = compile_expression(parse_expression(text), schema)
+        ctx = lambda: EvalContext(fields=fields, builtins=make_builtins())
+        assert VM.execute(program, ctx()) == VM.execute_interpreted(program, ctx())
+
+    @pytest.mark.parametrize(
+        "instructions,fields",
+        [
+            ([(Op.LOAD, 5)], (1,)),                                  # out of range
+            ([(Op.PUSH, 1), (Op.PUSH, 0), (Op.DIV, None)], ()),     # div by zero
+            ([(Op.CALL, ("f_noSuch", 0))], ()),                      # unknown builtin
+        ],
+    )
+    def test_error_paths_agree(self, instructions, fields):
+        program = Program(instructions=list(instructions))
+        with pytest.raises(PELError):
+            VM.execute(program, EvalContext(fields=fields, builtins=make_builtins()))
+        with pytest.raises(PELError):
+            VM.execute_interpreted(
+                program, EvalContext(fields=fields, builtins=make_builtins())
+            )
+
+    def test_recompilation_after_emit(self):
+        program = Program().emit(Op.PUSH, 1)
+        assert run(program) == 1
+        program.emit(Op.PUSH, 2).emit(Op.ADD)
+        assert run(program) == 3  # cache invalidated by emit()
+
+    def test_long_program_falls_back_to_interpreter(self):
+        from repro.pel.vm import MAX_CHAINED_INSTRUCTIONS
+
+        program = Program()
+        program.emit(Op.PUSH, 0)
+        for _ in range(MAX_CHAINED_INSTRUCTIONS + 10):
+            program.emit(Op.PUSH, 1)
+            program.emit(Op.ADD)
+        assert run(program) == MAX_CHAINED_INSTRUCTIONS + 10
+
+
 class TestPropertyBased:
     @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
     def test_addition_matches_python(self, a, b):

@@ -110,6 +110,101 @@ class TestSoftState:
         assert t.scan(1.0)[0][1] == 1
 
 
+class TestExpiryOrderInvariant:
+    """Lazy head-pop expiry must be observationally identical to the old
+    eager full-table sweep: refreshes move tuples to the back of the
+    expiry/eviction order, and listeners fire oldest-first."""
+
+    def test_refresh_moves_tuple_to_back_of_expiry_order(self):
+        t = Table("member", key_positions=[1], lifetime=10.0)
+        t.insert(member("a"), now=0.0)
+        t.insert(member("b"), now=1.0)
+        t.insert(member("a"), now=8.0)  # refresh: now newer than b
+        # at 11.5 only b (inserted 1.0) has exceeded its lifetime
+        assert [x[1] for x in t.scan(now=11.5)] == ["a"]
+        assert t.stats.expirations == 1
+
+    def test_refresh_moves_tuple_to_back_of_eviction_order(self):
+        t = Table("member", key_positions=[1], max_size=2)
+        t.insert(member("a"), now=0.0)
+        t.insert(member("b"), now=1.0)
+        t.insert(member("a"), now=2.0)  # refresh: a is now newest
+        t.insert(member("c"), now=3.0)  # evicts b, the oldest
+        assert sorted(x[1] for x in t.scan(4.0)) == ["a", "c"]
+
+    def test_lazy_expiry_fires_listeners_in_insertion_order(self):
+        expired = []
+        t = Table("member", key_positions=[1], lifetime=5.0)
+        t.on_expire(expired.append)
+        for i, addr in enumerate(["a", "b", "c", "d"]):
+            t.insert(member(addr), now=float(i))
+        t.insert(member("b"), now=4.0)  # refresh b behind d
+        t.scan(now=100.0)
+        assert [x[1] for x in expired] == ["a", "c", "d", "b"]
+        assert t.stats.expirations == 4
+
+    def test_partial_expiry_stops_at_first_live_row(self):
+        expired = []
+        t = Table("member", key_positions=[1], lifetime=10.0)
+        t.on_expire(expired.append)
+        t.insert(member("a"), now=0.0)
+        t.insert(member("b"), now=6.0)
+        t.insert(member("c"), now=7.0)
+        assert [x[1] for x in t.expire(now=12.0)] == ["a"]
+        assert [x[1] for x in expired] == ["a"]
+        assert len(t) == 2
+        # the survivors expire later, in order
+        assert [x[1] for x in t.expire(now=100.0)] == ["b", "c"]
+        assert t.stats.expirations == 3
+
+    def test_expiry_boundary_is_inclusive(self):
+        # a tuple inserted at time T with lifetime L is gone at exactly T+L,
+        # matching the old eager sweep's `inserted_at <= cutoff`
+        t = Table("member", key_positions=[1], lifetime=10.0)
+        t.insert(member("a"), now=0.0)
+        assert t.scan(now=9.999999) != []
+        assert t.scan(now=10.0) == []
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.integers(0, 3)),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_lazy_expiry_matches_eager_reference(self, ops):
+        """Differential: lazy expiry sees the same survivors and the same
+        listener sequence as a brute-force reference model."""
+        lifetime = 5.0
+        t = Table("rel", key_positions=[0], lifetime=lifetime)
+        observed = []
+        t.on_expire(lambda tup: observed.append(tup[0]))
+
+        reference = {}  # key -> insertion time, in insertion order
+        expected_expired = []
+
+        def reference_sweep(now):
+            cutoff = now - lifetime
+            for key in list(reference):
+                if reference[key] <= cutoff:
+                    expected_expired.append(key)
+                    del reference[key]
+
+        now = 0.0
+        for key, dt in ops:
+            now += float(dt)
+            reference_sweep(now)
+            t.insert(Tuple.make("rel", key, 0), now=now)
+            reference.pop(key, None)
+            reference[key] = now
+        now += 100.0
+        reference_sweep(now)
+        t.expire(now)
+        assert observed == expected_expired
+        assert t.stats.expirations == len(expected_expired)
+        assert [tup[0] for tup in t.scan(now)] == list(reference)
+
+
 class TestLookupsAndIndices:
     def test_lookup_by_primary_key(self):
         t = Table("member", key_positions=[1])

@@ -1,15 +1,31 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-full
+.PHONY: test test-fast bench bench-full check-pythonpath
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# The quick loop: everything except the multi-second Figure 3/4 experiment
+# sweeps (marked `slow`); stays well under 30 seconds.
+test-fast:
+	$(PYTHON) -m pytest -x -q -m "not slow"
+
+# A command-line PYTHONPATH override (`make bench PYTHONPATH=...`) silently
+# replaces the export above; fail loudly instead of benchmarking a stale or
+# missing package.  A path component ending in 'src' (relative or absolute)
+# counts as included.
+check-pythonpath:
+	@case ":$(PYTHONPATH):" in \
+	  *:src:*|*/src:*) ;; \
+	  *) echo "error: PYTHONPATH ('$(PYTHONPATH)') does not include 'src';" \
+	     "benchmarks would not import the in-tree package" >&2; exit 1 ;; \
+	esac
+
 # Tier-1 suite plus the quick benchmark sweep — the one-command CI target.
-bench: test
+bench: check-pythonpath test
 	$(PYTHON) -m benchmarks --quick
 
 # The full sweep used to produce the committed BENCH_*.json baselines.
-bench-full:
+bench-full: check-pythonpath
 	$(PYTHON) -m benchmarks --output BENCH_CURRENT.json

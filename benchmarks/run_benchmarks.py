@@ -47,12 +47,24 @@ MAINTENANCE_KWARGS = {
 
 
 def _timed(fn, rounds: int) -> dict:
+    """Time *fn* over *rounds*; a dict returned by *fn* is merged into the row.
+
+    The extra keys let experiment benchmarks persist counters alongside the
+    timing (e.g. the datagram-train benchmark records send events per
+    simulated second for both transport paths).
+    """
     times = []
+    extra = None
     for _ in range(rounds):
         t0 = time.perf_counter()
-        fn()
+        out = fn()
         times.append(time.perf_counter() - t0)
-    return {"mean_s": statistics.fmean(times), "rounds": rounds}
+        if isinstance(out, dict):
+            extra = out
+    row = {"mean_s": statistics.fmean(times), "rounds": rounds}
+    if extra:
+        row.update(extra)
+    return row
 
 
 # --------------------------------------------------------------------------- micro
@@ -215,14 +227,88 @@ def bench_fig4_churn(quick: bool):
     return run, 1
 
 
+def bench_micro_send_batch(quick: bool):
+    """Raw transport throughput: one datagram train vs. tuple-at-a-time."""
+    from repro.core import Tuple
+    from repro.net import Network, UniformTopology
+    from repro.sim import EventLoop
+
+    bursts = 100 if quick else 400
+    burst = [Tuple.make("stabilize", "b", "x" * 24, i) for i in range(64)]
+
+    def run():
+        loop = EventLoop()
+        net = Network(loop, UniformTopology(latency=0.01))
+
+        class Endpoint:
+            def __init__(self, address):
+                self.address = address
+
+            def receive(self, tup):
+                pass
+
+        net.register(Endpoint("a"))
+        net.register(Endpoint("b"))
+        for _ in range(bursts):
+            net.send_batch("a", "b", burst)
+        loop.run()
+        assert net.datagrams_sent < net.messages_sent
+
+    return run, (2 if quick else 5)
+
+
+def bench_fig4_churn_transport(quick: bool):
+    """Figure-4 churn on both transport paths: wall-clock plus wire counters.
+
+    Persists, next to the timing, the number of send events (scheduled
+    datagrams) per simulated second for the batched and unbatched paths —
+    the headline quantity transport batching is meant to shrink.
+    """
+    from repro.experiments import run_churn_experiment
+
+    population = 6 if quick else 10
+    kwargs = dict(
+        seed=5,
+        stabilization_time=120.0,
+        churn_duration=120.0,
+        lookup_rate=2.0,
+        drain_time=20.0,
+        program_kwargs=dict(MAINTENANCE_KWARGS),
+    )
+    sim_seconds = population * 1.0 + 120.0 + 120.0 + 20.0
+
+    def run():
+        batched = run_churn_experiment(population, 120.0, **kwargs)
+        unbatched = run_churn_experiment(population, 120.0, batching=False, **kwargs)
+        assert batched.datagrams_sent < unbatched.datagrams_sent
+        return {
+            "batched_send_events_per_sim_s": round(
+                batched.datagrams_sent / sim_seconds, 2
+            ),
+            "unbatched_send_events_per_sim_s": round(
+                unbatched.datagrams_sent / sim_seconds, 2
+            ),
+            "batched_messages_sent": batched.messages_sent,
+            "unbatched_messages_sent": unbatched.messages_sent,
+            "batched_maintenance_Bps": round(batched.maintenance_bytes_per_second, 1),
+            "unbatched_maintenance_Bps": round(
+                unbatched.maintenance_bytes_per_second, 1
+            ),
+        }
+
+    return run, 1
+
+
 BENCHES = {
     "micro_table_ops_10k": bench_table_ops,
     "micro_table_expiry_churn": bench_table_expiry_churn,
     "micro_pel_arith": bench_pel_arith,
     "micro_pel_ring_interval": bench_pel_ring_interval,
     "micro_event_loop_churn": bench_event_loop,
+    "micro_send_batch": bench_micro_send_batch,
     "fig3_static": bench_fig3_static,
     "fig4_churn": bench_fig4_churn,
+    "fig4_churn_transport": bench_fig4_churn_transport,
 }
 
 
@@ -240,6 +326,17 @@ def main(argv=None) -> int:
         help="JSON output path (default: print to stdout only)",
     )
     args = parser.parse_args(argv)
+
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        print(
+            "error: cannot import the 'repro' package — the benchmarks need "
+            "PYTHONPATH to include 'src' (run `make bench`, or "
+            "`PYTHONPATH=src python benchmarks/run_benchmarks.py`)",
+            file=sys.stderr,
+        )
+        return 2
 
     results = {}
     for name, factory in BENCHES.items():

@@ -2,7 +2,17 @@
 
 from .aggregates import AGGREGATES, get_aggregate
 from .element import Callback, Discard, Element, ElementStats, Graph, Sink
-from .flow import DeltaBuffer, Demux, Dup, Filter, Mux, Queue, RoundRobin, TimedPullPush
+from .flow import (
+    DeltaBuffer,
+    Demux,
+    Dup,
+    Filter,
+    Mux,
+    Queue,
+    RoundRobin,
+    TimedPullPush,
+    TransmitBuffer,
+)
 from .operators import (
     Aggregate,
     AntiJoin,
@@ -30,6 +40,7 @@ __all__ = [
     "Demux",
     "RoundRobin",
     "TimedPullPush",
+    "TransmitBuffer",
     "Filter",
     "Select",
     "Assign",

@@ -121,13 +121,22 @@ class Sink(Element):
     def __init__(self, name: str = "sink"):
         super().__init__(name)
         self.collected: List[Tuple] = []
+        #: every push_batch as delivered, preserving batch boundaries — lets
+        #: tests assert not just *what* arrived but *how it was grouped*
+        self.batches: List[List[Tuple]] = []
 
     def push(self, tup: Tuple, port: int = 0) -> None:
         self.stats.pushed_in += 1
         self.collected.append(tup)
 
+    def push_batch(self, tuples: Sequence[Tuple], port: int = 0) -> None:
+        self.stats.pushed_in += len(tuples)
+        self.collected.extend(tuples)
+        self.batches.append(list(tuples))
+
     def clear(self) -> None:
         self.collected.clear()
+        self.batches.clear()
 
 
 class Callback(Element):

@@ -266,6 +266,81 @@ class DeltaBuffer(Element):
         return len(batch)
 
 
+class TransmitBuffer(Element):
+    """Coalesces one round's outbound tuples into per-destination batches.
+
+    The network-facing sibling of :class:`DeltaBuffer`: where that element
+    batches a strand's *local* deltas, this one absorbs the remote-bound
+    tuples a node derives while draining its run queue and, on
+    :meth:`flush`, hands each destination its whole burst in one call — the
+    hook ``Network.send_batch`` turns into a single datagram train.  Grouping
+    follows the :meth:`Demux.push_batch` template: batches are keyed per
+    destination in first-appearance order, and each destination's tuples keep
+    their exact arrival order, so the per-destination byte stream is
+    identical to what tuple-at-a-time sending would have produced.
+
+    Tuples may be handed over explicitly with :meth:`enqueue` (the node
+    runtime does this, since routing decisions carry the destination
+    separately) or pushed like any element, in which case the P2 convention
+    applies: a tuple's first field is its location specifier ``@NI``.
+    """
+
+    kind = "transmit-buffer"
+
+    def __init__(self, name: str = "transmit"):
+        super().__init__(name)
+        self._queues: Dict[object, List[Tuple]] = {}
+        self._count = 0
+        self.flushes = 0
+        self.batches = 0
+
+    def enqueue(self, destination, tup: Tuple) -> None:
+        """Buffer *tup* for *destination*."""
+        self.stats.pushed_in += 1
+        self._count += 1
+        queue = self._queues.get(destination)
+        if queue is None:
+            self._queues[destination] = [tup]
+        else:
+            queue.append(tup)
+
+    def push(self, tup: Tuple, port: int = 0) -> None:
+        if not tup.fields:
+            raise DataflowError(
+                f"transmit buffer {self.name!r}: tuple {tup!r} has no location field"
+            )
+        self.enqueue(tup.fields[0], tup)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def destinations(self) -> List[object]:
+        return list(self._queues)
+
+    def clear(self) -> None:
+        """Discard everything buffered (crash-stop: unsent datagrams are lost)."""
+        self._queues = {}
+        self._count = 0
+
+    def flush(self, sender: Callable[[object, List[Tuple]], object]) -> int:
+        """Hand every destination its batch via ``sender(dst, batch)``.
+
+        Returns the number of tuples flushed.  The buffer is emptied before
+        the first send so a re-entrant enqueue (none exists today, but hooks
+        may route) lands in the next round rather than this one.
+        """
+        if not self._queues:
+            return 0
+        queues, self._queues = self._queues, {}
+        flushed, self._count = self._count, 0
+        self.flushes += 1
+        for destination, batch in queues.items():
+            self.batches += 1
+            self.stats.emitted += len(batch)
+            sender(destination, batch)
+        return flushed
+
+
 class Filter(Element):
     """Keeps tuples for which *predicate* returns True (host-level filtering)."""
 

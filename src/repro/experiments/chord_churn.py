@@ -35,6 +35,10 @@ class ChurnChordResult:
     consistent_fraction: float = 0.0
     churn_events: int = 0
     lookups_issued: int = 0
+    #: transport counters for the whole run: tuples handed to the network and
+    #: wire units (= delivery events) they traveled in — equal when unbatched
+    messages_sent: int = 0
+    datagrams_sent: int = 0
 
     def latency_cdf(self, points: int = 20) -> List[PyTuple[float, float]]:
         return cdf(self.lookup_latencies, points=points)
@@ -65,6 +69,7 @@ def run_churn_experiment(
     drain_time: float = 30.0,
     domains: int = 10,
     program_kwargs: Optional[dict] = None,
+    batching: bool = True,
 ) -> ChurnChordResult:
     """Boot, stabilise, then churn for *churn_duration* while issuing lookups."""
     topology = TransitStubTopology(domains=domains, seed=seed)
@@ -75,6 +80,7 @@ def run_churn_experiment(
         bits=bits,
         join_stagger=join_stagger,
         program_kwargs=program_kwargs,
+        batching=batching,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)
@@ -127,4 +133,6 @@ def run_churn_experiment(
         consistent_fraction=tracker.consistent_fraction(),
         churn_events=churn.stats.failures,
         lookups_issued=workload.issued,
+        messages_sent=sim.network.messages_sent,
+        datagrams_sent=sim.network.datagrams_sent,
     )

@@ -36,6 +36,10 @@ class StaticChordResult:
     consistent_fraction: float = 0.0
     ring_consistency: float = 0.0
     lookups_issued: int = 0
+    #: transport counters for the whole run: tuples handed to the network and
+    #: wire units (= delivery events) they traveled in — equal when unbatched
+    messages_sent: int = 0
+    datagrams_sent: int = 0
 
     def hop_histogram(self, max_hops: int = 16) -> Dict[float, float]:
         return histogram(self.hop_counts, bins=range(max_hops + 1))
@@ -72,6 +76,7 @@ def run_static_experiment(
     drain_time: float = 30.0,
     domains: int = 10,
     program_kwargs: Optional[dict] = None,
+    batching: bool = True,
 ) -> StaticChordResult:
     """Boot, stabilise, measure idle bandwidth, then drive lookups."""
     topology = TransitStubTopology(domains=domains, seed=seed)
@@ -82,6 +87,7 @@ def run_static_experiment(
         bits=bits,
         join_stagger=join_stagger,
         program_kwargs=program_kwargs,
+        batching=batching,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)
@@ -123,4 +129,6 @@ def run_static_experiment(
         consistent_fraction=tracker.consistent_fraction(),
         ring_consistency=network.ring_consistency(),
         lookups_issued=workload.issued,
+        messages_sent=sim.network.messages_sent,
+        datagrams_sent=sim.network.datagrams_sent,
     )

@@ -8,9 +8,12 @@ from .topology import (
 )
 from .transport import (
     DEFAULT_CATEGORY,
+    Datagram,
+    MTU_BYTES,
     Network,
     NodeTrafficStats,
     PACKET_OVERHEAD_BYTES,
+    pack_datagrams,
 )
 
 __all__ = [
@@ -20,6 +23,9 @@ __all__ = [
     "LatencyMatrixTopology",
     "Network",
     "NodeTrafficStats",
+    "Datagram",
+    "pack_datagrams",
     "PACKET_OVERHEAD_BYTES",
+    "MTU_BYTES",
     "DEFAULT_CATEGORY",
 ]

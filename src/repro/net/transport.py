@@ -6,21 +6,39 @@ applying topology latency, optional loss, and recording per-node transmit /
 receive statistics.  Bandwidth accounting distinguishes traffic *categories*
 (maintenance vs. lookup) through a pluggable classifier, which is how the
 maintenance-bandwidth figures (Figure 3(ii), Figure 4(i)) are produced.
+
+Two data paths exist:
+
+* :meth:`Network.send` — one tuple, one datagram, one delivery event (the
+  original path, kept as the ``batching=False`` escape hatch and as the
+  oracle for the accounting-equivalence tests);
+* :meth:`Network.send_batch` — a per-destination burst marshaled as a
+  *datagram train*: tuples are packed in arrival order into datagrams of up
+  to :data:`MTU_BYTES` payload, each datagram pays
+  :data:`PACKET_OVERHEAD_BYTES` once, is lost or delivered as a unit, and is
+  handed to the destination as a single event-loop event.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple as PyTuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Tuple as PyTuple
 
 from ..core.errors import NetworkError
 from ..core.tuples import Tuple
 from ..sim.event_loop import EventLoop
 from .topology import Topology, UniformTopology
 
-#: UDP/IP/Ethernet framing overhead added to every marshaled tuple, bytes.
+#: UDP/IP/Ethernet framing overhead added to every marshaled datagram, bytes.
 PACKET_OVERHEAD_BYTES = 28 + 14
+
+#: Maximum marshaled tuple payload per datagram, bytes: the classic 1500-byte
+#: Ethernet MTU minus the 28 bytes of IP+UDP headers (the Ethernet frame
+#: header rides outside the MTU).  A datagram train sent by
+#: :meth:`Network.send_batch` closes the current datagram and opens a new one
+#: whenever the next tuple would push the payload past this limit.
+MTU_BYTES = 1472
 
 Classifier = Callable[[Tuple], str]
 SendHook = Callable[[str, str, Tuple, float], None]
@@ -36,8 +54,66 @@ class Endpoint(Protocol):
 
 
 @dataclass
+class Datagram:
+    """One wire unit of a datagram train: tuples sharing a single framing.
+
+    ``bytes_by_category`` attributes each tuple's marshaled payload to that
+    tuple's traffic category and the per-datagram framing overhead to the
+    category of the tuple that *opened* the datagram, so summing the map
+    always equals :attr:`wire_bytes` and per-category totals stay exact under
+    batching.
+    """
+
+    tuples: List[Tuple] = field(default_factory=list)
+    payload_bytes: int = 0
+    bytes_by_category: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, tup: Tuple, size: int, category: str) -> None:
+        if not self.tuples:
+            self.bytes_by_category[category] = PACKET_OVERHEAD_BYTES
+        self.tuples.append(tup)
+        self.payload_bytes += size
+        self.bytes_by_category[category] = self.bytes_by_category.get(category, 0) + size
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.payload_bytes + PACKET_OVERHEAD_BYTES
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+
+def pack_datagrams(
+    tuples: Iterable[Tuple], classifier: Classifier, mtu: int = MTU_BYTES
+) -> List[Datagram]:
+    """Greedily pack *tuples*, in order, into datagrams of ≤ *mtu* payload.
+
+    Tuples are never reordered (cross-relation arrival order at the receiver
+    is part of the engine's observable semantics), so a datagram may mix
+    traffic categories; an oversized tuple still travels, alone, in its own
+    datagram.  Exposed as a module function so the accounting-equivalence
+    tests can compute expected per-datagram byte totals independently.
+    """
+    datagrams: List[Datagram] = []
+    current: Optional[Datagram] = None
+    for tup in tuples:
+        size = tup.estimate_size()
+        if current is None or (current.payload_bytes + size > mtu and current.tuples):
+            current = Datagram()
+            datagrams.append(current)
+        current.add(tup, size, classifier(tup))
+    return datagrams
+
+
+@dataclass
 class NodeTrafficStats:
-    """Per-node transmit/receive counters, split by traffic category."""
+    """Per-node transmit/receive counters, split by traffic category.
+
+    ``tx_messages``/``rx_messages`` count tuples; ``tx_datagrams`` /
+    ``rx_datagrams`` count wire units (equal to the message counts on the
+    unbatched path, smaller under batching).  Byte counters always reflect
+    what actually crossed the wire: one framing overhead per datagram.
+    """
 
     tx_messages: int = 0
     rx_messages: int = 0
@@ -45,9 +121,12 @@ class NodeTrafficStats:
     rx_bytes: int = 0
     tx_bytes_by_category: Dict[str, int] = field(default_factory=dict)
     rx_bytes_by_category: Dict[str, int] = field(default_factory=dict)
+    tx_datagrams: int = 0
+    rx_datagrams: int = 0
 
     def record_tx(self, nbytes: int, category: str) -> None:
         self.tx_messages += 1
+        self.tx_datagrams += 1
         self.tx_bytes += nbytes
         self.tx_bytes_by_category[category] = (
             self.tx_bytes_by_category.get(category, 0) + nbytes
@@ -55,10 +134,27 @@ class NodeTrafficStats:
 
     def record_rx(self, nbytes: int, category: str) -> None:
         self.rx_messages += 1
+        self.rx_datagrams += 1
         self.rx_bytes += nbytes
         self.rx_bytes_by_category[category] = (
             self.rx_bytes_by_category.get(category, 0) + nbytes
         )
+
+    def record_tx_datagram(self, bytes_by_category: Dict[str, int], messages: int) -> None:
+        self.tx_messages += messages
+        self.tx_datagrams += 1
+        by_cat = self.tx_bytes_by_category
+        for category, nbytes in bytes_by_category.items():
+            self.tx_bytes += nbytes
+            by_cat[category] = by_cat.get(category, 0) + nbytes
+
+    def record_rx_datagram(self, bytes_by_category: Dict[str, int], messages: int) -> None:
+        self.rx_messages += messages
+        self.rx_datagrams += 1
+        by_cat = self.rx_bytes_by_category
+        for category, nbytes in bytes_by_category.items():
+            self.rx_bytes += nbytes
+            by_cat[category] = by_cat.get(category, 0) + nbytes
 
 
 class Network:
@@ -71,19 +167,23 @@ class Network:
         loss_rate: float = 0.0,
         seed: int = 0,
         classifier: Optional[Classifier] = None,
+        mtu: int = MTU_BYTES,
     ):
         self.loop = loop
         self.topology = topology or UniformTopology()
         self.loss_rate = loss_rate
         self.classifier = classifier or (lambda tup: DEFAULT_CATEGORY)
+        self.mtu = mtu
         self._rng = random.Random(seed)
         self._nodes: Dict[str, Endpoint] = {}
         self._indices: Dict[str, int] = {}
         self._alive: Dict[str, bool] = {}
+        self._next_index = 0
         self.stats: Dict[str, NodeTrafficStats] = {}
         self._send_hooks: List[SendHook] = []
         self.messages_sent = 0
         self.messages_dropped = 0
+        self.datagrams_sent = 0
 
     # -- membership ----------------------------------------------------------------
     def register(self, node: Endpoint) -> int:
@@ -91,7 +191,14 @@ class Network:
         address = node.address
         if address in self._nodes:
             raise NetworkError(f"address {address!r} already registered")
-        index = len(self._indices)
+        # A monotonic counter, not len(self._indices): re-registering an
+        # address after unregister() must mint a fresh index rather than
+        # collide with the next newcomer's.  On a fixed-size
+        # LatencyMatrixTopology the fresh index can run past the matrix,
+        # which fails loudly in latency() — preferable to silently reusing
+        # the departed node's coordinates.
+        index = self._next_index
+        self._next_index += 1
         self._nodes[address] = node
         self._indices[address] = index
         self._alive[address] = True
@@ -127,14 +234,17 @@ class Network:
 
     # -- data path --------------------------------------------------------------------
     def send(self, src: str, dst: str, tup: Tuple) -> bool:
-        """Marshal and send *tup* from *src* to *dst*.
+        """Marshal and send *tup* from *src* to *dst* as its own datagram.
 
-        Returns True when the message was put on the wire (it may still be
-        lost or arrive at a dead node, exactly like UDP).
+        Returns True when the message was put on the wire; a loss draw or an
+        unknown destination returns False (and counts the drop), while a
+        message that reaches a node that died in flight is dropped at
+        delivery time, exactly like UDP.
         """
         if src not in self._indices:
             raise NetworkError(f"unknown source address {src!r}")
         self.messages_sent += 1
+        self.datagrams_sent += 1
         size = tup.estimate_size() + PACKET_OVERHEAD_BYTES
         category = self.classifier(tup)
         self.stats.setdefault(src, NodeTrafficStats()).record_tx(size, category)
@@ -150,13 +260,93 @@ class Network:
         self.loop.schedule(delay, lambda: self._deliver(dst, tup, size, category))
         return True
 
-    def _deliver(self, dst: str, tup: Tuple, size: int, category: str) -> None:
+    def send_batch(self, src: str, dst: str, tuples: Iterable[Tuple]) -> int:
+        """Marshal a burst from *src* to *dst* as one datagram train.
+
+        Tuples are packed in arrival order into MTU-sized datagrams; each
+        datagram pays the framing overhead once, is lost as a unit (one loss
+        draw per datagram), and arrives as one event-loop event.  Send hooks
+        still fire once per tuple and ``messages_sent`` still counts tuples,
+        so observers are batching-agnostic.  Returns the number of tuples put
+        on the wire.
+        """
+        if src not in self._indices:
+            raise NetworkError(f"unknown source address {src!r}")
+        batch = list(tuples)
+        if not batch:
+            return 0
+        if len(batch) == 1:
+            # a one-tuple train is exactly one unbatched send: same datagram,
+            # same bytes, same loss draw — skip the packing machinery (most
+            # idle-maintenance rounds emit a single tuple per destination)
+            return 1 if self.send(src, dst, batch[0]) else 0
+        stats = self.stats.setdefault(src, NodeTrafficStats())
+        now = self.loop.now
+        known = dst in self._indices
+        delay = (
+            self.topology.latency(self._indices[src], self._indices[dst])
+            if known
+            else 0.0
+        )
+        hooks = self._send_hooks
+        sent = 0
+        for datagram in pack_datagrams(batch, self.classifier, self.mtu):
+            count = len(datagram)
+            self.messages_sent += count
+            self.datagrams_sent += 1
+            stats.record_tx_datagram(datagram.bytes_by_category, count)
+            if hooks:
+                for tup in datagram.tuples:
+                    for hook in hooks:
+                        hook(src, dst, tup, now)
+            if not known:
+                self.messages_dropped += count
+                continue
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                self.messages_dropped += count
+                continue
+            self.loop.schedule(delay, lambda d=datagram: self._deliver_datagram(dst, d))
+            sent += count
+        return sent
+
+    def _endpoint(self, dst: str) -> Optional[Endpoint]:
+        """The live endpoint for *dst*, or None when delivery is a drop.
+
+        A destination unregistered (or failed) after a datagram was scheduled
+        but before it arrives must count as a drop — like a UDP datagram
+        racing a process exit — never be silently ignored.  Endpoints may
+        also expose their own ``alive`` flag (P2 nodes do); a dead endpoint
+        is a drop too, even if the network has not been told yet.
+        """
         node = self._nodes.get(dst)
         if node is None or not self._alive.get(dst, False):
+            return None
+        if not getattr(node, "alive", True):
+            return None
+        return node
+
+    def _deliver(self, dst: str, tup: Tuple, size: int, category: str) -> None:
+        node = self._endpoint(dst)
+        if node is None:
             self.messages_dropped += 1
             return
         self.stats.setdefault(dst, NodeTrafficStats()).record_rx(size, category)
         node.receive(tup)
+
+    def _deliver_datagram(self, dst: str, datagram: Datagram) -> None:
+        node = self._endpoint(dst)
+        if node is None:
+            self.messages_dropped += len(datagram)
+            return
+        self.stats.setdefault(dst, NodeTrafficStats()).record_rx_datagram(
+            datagram.bytes_by_category, len(datagram)
+        )
+        receive_batch = getattr(node, "receive_batch", None)
+        if receive_batch is not None:
+            receive_batch(datagram.tuples)
+        else:
+            for tup in datagram.tuples:
+                node.receive(tup)
 
     # -- aggregate statistics ------------------------------------------------------------
     def total_tx_bytes(self, category: Optional[str] = None) -> int:

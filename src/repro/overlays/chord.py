@@ -270,6 +270,7 @@ def build_chord_network(
     bits: int = 32,
     join_stagger: float = 2.0,
     program_kwargs: Optional[dict] = None,
+    batching: bool = True,
 ) -> ChordNetwork:
     """Create a Chord overlay of *num_nodes* nodes (not yet stabilised).
 
@@ -288,6 +289,7 @@ def build_chord_network(
             seed=seed,
             id_bits=kwargs["bits"],
             classifier=classify_chord_traffic,
+            batching=batching,
         )
     network = ChordNetwork(simulation=simulation, landmark="")
     for i in range(num_nodes):

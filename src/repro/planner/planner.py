@@ -22,6 +22,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
 from ..core.errors import PlannerError
 from ..core.tuples import Tuple
 from ..dataflow.element import Element, Graph
+from ..dataflow.flow import TransmitBuffer
 from ..dataflow.operators import (
     Aggregate,
     AntiJoin,
@@ -48,6 +49,10 @@ class CompiledDataflow:
     periodics: List[PeriodicSpec] = field(default_factory=list)
     facts: List[Tuple] = field(default_factory=list)
     graph: Graph = field(default_factory=Graph)
+    #: the node's single network-side egress element (Figure 2's output side):
+    #: every strand's remote-bound head tuples funnel through it so one
+    #: run-queue drain becomes one datagram train per destination
+    transmit: Optional[TransmitBuffer] = None
 
     def all_strands(self) -> List[RuleStrand]:
         out: List[RuleStrand] = []
@@ -81,6 +86,8 @@ class Planner:
     # -- public API ---------------------------------------------------------------
     def compile(self) -> CompiledDataflow:
         compiled = CompiledDataflow(self.program)
+        compiled.transmit = TransmitBuffer(name="transmit")
+        compiled.graph.add(compiled.transmit)
         self._create_tables()
         for rule in self.program.rules:
             analysis = analyze_rule(rule, self.program)

@@ -24,9 +24,14 @@ from ..dataflow.operators import Aggregate, AntiJoin, LookupJoin, Project
 from ..tables.table import Table
 
 
-@dataclass
+@dataclass(slots=True)
 class HeadRoute:
-    """One derived head tuple and where it must go."""
+    """One derived head tuple and where it must go.
+
+    Slotted: one ``HeadRoute`` is allocated per derived tuple, which makes
+    this one of the hottest allocation sites in the engine (every strand
+    firing on every node), so it must not carry a per-instance ``__dict__``.
+    """
 
     destination: Any          # network address (may equal the local address)
     tuple: Tuple

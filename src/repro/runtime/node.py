@@ -52,6 +52,7 @@ class P2Node:
         seed: Optional[int] = None,
         extra_facts: Sequence[Tuple] = (),
         extra_builtins: Optional[dict] = None,
+        batching: bool = True,
     ):
         self.address = address
         self.network = network
@@ -61,8 +62,12 @@ class P2Node:
         self.builtins = make_builtins(extra_builtins)
         self.node_id = node_id
         self.alive = False
+        self.batching = batching
         self.tables = TableStore()
         self.compiled: CompiledDataflow = Planner(program, self, self.tables).compile()
+        #: planner-built egress element; every remote-bound head tuple is
+        #: coalesced here and flushed as datagram trains once per drain
+        self.transmit = self.compiled.transmit
         self._extra_facts = list(extra_facts)
         self._pending: Deque[Tuple] = deque()
         self._processing = False
@@ -91,6 +96,9 @@ class P2Node:
         for handle in self._timers:
             handle.cancel()
         self._timers.clear()
+        if self.transmit is not None:
+            # crash-stop: anything still buffered never reaches the wire
+            self.transmit.clear()
         self.network.set_alive(self.address, False)
 
     def now(self) -> float:
@@ -122,6 +130,20 @@ class P2Node:
             return
         self.route(tup)
 
+    def receive_batch(self, batch: Sequence[Tuple]) -> None:
+        """Called by the network when one datagram's tuples arrive together.
+
+        Each tuple is still routed to fixpoint individually: batching changes
+        how tuples travel and how arrivals are scheduled (one event-loop
+        event per datagram), not the run-to-completion semantics — a tuple's
+        local derivations are fully chased before the next tuple in the
+        datagram is considered, exactly as if each had arrived alone.
+        """
+        for tup in batch:
+            if not self.alive:
+                return
+            self.route(tup)
+
     # ------------------------------------------------------------------ dataflow core
     def route(self, tup: Tuple) -> None:
         """Feed *tup* into the node's demultiplexer and run to completion."""
@@ -129,7 +151,13 @@ class P2Node:
         self._run_queue()
 
     def _run_queue(self) -> None:
-        """Drain pending tuples and dirty continuous aggregates to fixpoint."""
+        """Drain pending tuples and dirty continuous aggregates to fixpoint.
+
+        On the batched path, remote-bound tuples derived anywhere in the
+        drain accumulate in the transmit buffer and leave as per-destination
+        datagram trains in one flush at the end — one network hand-off per
+        drain instead of one per tuple.
+        """
         if self._processing:
             return
         self._processing = True
@@ -152,6 +180,7 @@ class P2Node:
                     )
         finally:
             self._processing = False
+        self._flush_transmit()
 
     def _dispatch(self, tup: Tuple) -> None:
         self.events_processed += 1
@@ -166,8 +195,11 @@ class P2Node:
     def _handle_routes(self, routes: Iterable[HeadRoute]) -> None:
         # A strand's burst of locally-derived tuples is appended to the run
         # queue as one batch (one extend) rather than tuple-by-tuple, mirroring
-        # the batched delta propagation of the dataflow layer.
+        # the batched delta propagation of the dataflow layer; remote-bound
+        # tuples are likewise coalesced in the transmit buffer per destination
+        # and leave as datagram trains when the drain flushes.
         local_batch: List[Tuple] = []
+        transmit = self.transmit if self.batching else None
         for route in routes:
             if route.is_delete:
                 if route.destination != self.address:
@@ -177,12 +209,26 @@ class P2Node:
                 self.tables.get(route.tuple.name).delete(route.tuple, self.now())
             elif route.destination == self.address:
                 local_batch.append(route.tuple)
+            elif transmit is not None:
+                transmit.enqueue(route.destination, route.tuple)
             else:
                 sent = self.network.send(self.address, route.destination, route.tuple)
                 if not sent:
                     self.dropped_remote_sends += 1
         if local_batch:
             self._pending.extend(local_batch)
+
+    def _flush_transmit(self) -> None:
+        """Send everything buffered this drain as per-destination trains."""
+        transmit = self.transmit
+        if transmit is None or len(transmit) == 0:
+            return
+        transmit.flush(self._send_train)
+
+    def _send_train(self, destination: Any, batch: List[Tuple]) -> None:
+        sent = self.network.send_batch(self.address, destination, batch)
+        if sent < len(batch):
+            self.dropped_remote_sends += len(batch) - sent
 
     # ------------------------------------------------------------------ periodic events
     def _schedule_periodic(

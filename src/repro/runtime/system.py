@@ -34,6 +34,7 @@ class OverlaySimulation:
         seed: int = 0,
         id_bits: int = 32,
         classifier: Optional[Callable[[Tuple], str]] = None,
+        batching: bool = True,
     ):
         self.program = parse_program(program) if isinstance(program, str) else program
         self.loop = EventLoop()
@@ -46,6 +47,9 @@ class OverlaySimulation:
         )
         self.idspace = IdSpace(bits=id_bits)
         self.seed = seed
+        #: whether nodes coalesce each drain's outbound tuples into datagram
+        #: trains (the default) or send tuple-at-a-time (the escape hatch)
+        self.batching = batching
         self._rng = random.Random(seed)
         self.nodes: Dict[str, P2Node] = {}
         self._counter = 0
@@ -81,6 +85,7 @@ class OverlaySimulation:
             seed=self._rng.getrandbits(32),
             extra_facts=extra_facts,
             extra_builtins=extra_builtins,
+            batching=self.batching,
         )
         self.network.register(node)
         self.nodes[address] = node
@@ -145,6 +150,7 @@ def transit_stub_simulation(
     id_bits: int = 32,
     loss_rate: float = 0.0,
     classifier: Optional[Callable[[Tuple], str]] = None,
+    batching: bool = True,
 ) -> OverlaySimulation:
     """A simulation configured like the paper's Emulab testbed (Section 5)."""
     return OverlaySimulation(
@@ -154,4 +160,5 @@ def transit_stub_simulation(
         seed=seed,
         id_bits=id_bits,
         classifier=classifier,
+        batching=batching,
     )

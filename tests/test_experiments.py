@@ -10,6 +10,9 @@ import pytest
 
 from repro.experiments import run_churn_experiment, run_static_experiment
 
+# whole-figure sweeps take multiple seconds each; `make test-fast` skips them
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def static_result():

@@ -22,10 +22,23 @@ check-pythonpath:
 	     "benchmarks would not import the in-tree package" >&2; exit 1 ;; \
 	esac
 
+# The newest committed benchmark baseline, e.g. BENCH_PR4.json (version sort
+# so BENCH_PR10 orders after BENCH_PR9).
+LATEST_BENCH := $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
+
 # Tier-1 suite plus the quick benchmark sweep — the one-command CI target.
+# The regression gate re-runs the (full-mode, seconds-cheap) micro benches
+# and fails on any >25% slowdown against the newest committed baseline; the
+# multi-second fig3/fig4 rows are gated when producing a full BENCH_PR file.
 bench: check-pythonpath test
 	$(PYTHON) -m benchmarks --quick
+ifneq ($(LATEST_BENCH),)
+	$(PYTHON) -m benchmarks --only micro --compare $(LATEST_BENCH)
+else
+	@echo "no BENCH_PR*.json baseline committed; skipping regression gate"
+endif
 
-# The full sweep used to produce the committed BENCH_*.json baselines.
+# The full sweep used to produce the committed BENCH_*.json baselines,
+# gated against the newest committed baseline.
 bench-full: check-pythonpath
-	$(PYTHON) -m benchmarks --output BENCH_CURRENT.json
+	$(PYTHON) -m benchmarks --output BENCH_CURRENT.json $(if $(LATEST_BENCH),--compare $(LATEST_BENCH))

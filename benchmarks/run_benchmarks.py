@@ -17,10 +17,16 @@ Usage::
 
     python benchmarks/run_benchmarks.py --output BENCH_PR2.json
     python -m benchmarks --quick             # fast smoke run
-    make bench                               # tier-1 tests + quick benches
+    python -m benchmarks --compare BENCH_PR3.json   # regression gate
+    make bench                               # tier-1 tests + quick benches + gate
 
 ``--quick`` shrinks operation counts and populations so the whole sweep
 finishes in well under a minute; full mode matches the committed baselines.
+Every row records which mode produced it (``"quick": true/false``) so that
+``--compare`` only ever compares like with like: it checks each freshly-run
+bench against the same-named, same-mode row of the given baseline file and
+exits non-zero when any regresses by more than 25% — the regression gate
+``make bench`` runs against the newest committed ``BENCH_PR<n>.json``.
 """
 
 from __future__ import annotations
@@ -61,7 +67,9 @@ def _timed(fn, rounds: int) -> dict:
         times.append(time.perf_counter() - t0)
         if isinstance(out, dict):
             extra = out
-    row = {"mean_s": statistics.fmean(times), "rounds": rounds}
+    # min_s is the noise-robust statistic (a round can only be slowed down,
+    # never sped up, by interference) — the regression gate prefers it.
+    row = {"mean_s": statistics.fmean(times), "min_s": min(times), "rounds": rounds}
     if extra:
         row.update(extra)
     return row
@@ -184,8 +192,10 @@ def bench_event_loop(quick: bool):
 
 
 # --------------------------------------------------------------------- experiments
-def bench_fig3_static(quick: bool):
-    """The Figure 3 static-membership Chord experiment (scaled population)."""
+def _fig3_bench(quick: bool, shards: int):
+    """One Figure 3 workload, shared by the unsharded and sharded rows so
+    their parameters cannot drift apart (the rows are only meaningful as a
+    directly-comparable pair)."""
     from repro.experiments import run_static_experiment
 
     population = 10 if quick else 20
@@ -199,14 +209,16 @@ def bench_fig3_static(quick: bool):
             lookup_count=120,
             lookup_rate=4.0,
             drain_time=30.0,
+            shards=shards,
         )
         assert result.lookups_issued > 0
+        return {"shards": shards} if shards > 1 else None
 
-    return run, 1
+    return run, (1 if quick else 2)
 
 
-def bench_fig4_churn(quick: bool):
-    """The Figure 4 churn experiment (scaled population and session time)."""
+def _fig4_bench(quick: bool, shards: int):
+    """One Figure 4 churn workload, shared like :func:`_fig3_bench`."""
     from repro.experiments import run_churn_experiment
 
     population = 8 if quick else 16
@@ -221,10 +233,39 @@ def bench_fig4_churn(quick: bool):
             lookup_rate=2.0,
             drain_time=30.0,
             program_kwargs=dict(MAINTENANCE_KWARGS),
+            shards=shards,
         )
         assert result.lookups_issued > 0
+        return {"shards": shards} if shards > 1 else None
 
-    return run, 1
+    return run, (1 if quick else 2)
+
+
+def bench_fig3_static(quick: bool):
+    """The Figure 3 static-membership Chord experiment (scaled population)."""
+    return _fig3_bench(quick, shards=1)
+
+
+def bench_fig4_churn(quick: bool):
+    """The Figure 4 churn experiment (scaled population and session time)."""
+    return _fig4_bench(quick, shards=1)
+
+
+def bench_fig3_static_sharded(quick: bool):
+    """Figure 3 on the sharded driver (shards=2), same workload as
+    ``fig3_static`` so the two rows are directly comparable wall-clock.
+
+    The result is bit-identical to the single-loop run (the determinism
+    suite enforces that); this row tracks what the conservative-lookahead
+    machinery costs — or, on a multi-core backend, saves.
+    """
+    return _fig3_bench(quick, shards=2)
+
+
+def bench_fig4_churn_sharded(quick: bool):
+    """Figure 4 churn on the sharded driver (shards=2), same workload as
+    ``fig4_churn`` for a direct wall-clock comparison."""
+    return _fig4_bench(quick, shards=2)
 
 
 def bench_micro_send_batch(quick: bool):
@@ -296,7 +337,7 @@ def bench_fig4_churn_transport(quick: bool):
             ),
         }
 
-    return run, 1
+    return run, (1 if quick else 2)
 
 
 BENCHES = {
@@ -309,7 +350,63 @@ BENCHES = {
     "fig3_static": bench_fig3_static,
     "fig4_churn": bench_fig4_churn,
     "fig4_churn_transport": bench_fig4_churn_transport,
+    "fig3_static_sharded": bench_fig3_static_sharded,
+    "fig4_churn_sharded": bench_fig4_churn_sharded,
 }
+
+#: --compare fails on a shared bench slower than baseline by more than this.
+REGRESSION_THRESHOLD = 0.25
+
+
+def compare_against_baseline(results: dict, baseline_path: str) -> int:
+    """Compare fresh *results* with a committed baseline; 1 on regression.
+
+    Only *shared* benches are gated: same name, and produced by the same
+    mode (a ``--quick`` row is never judged against a full-sweep baseline —
+    pre-PR4 baselines carry no mode flag and count as full sweeps).
+    """
+    try:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}", file=sys.stderr)
+        return 2
+    regressions = []
+    compared = 0
+    print(f"\ncomparing against {baseline_path} (threshold +{REGRESSION_THRESHOLD:.0%})")
+    for name, row in results.items():
+        base = baseline.get(name)
+        if not isinstance(base, dict) or "mean_s" not in base:
+            continue
+        if bool(row.get("quick")) != bool(base.get("quick")):
+            print(f"  {name}: skipped (quick/full mode mismatch with baseline)")
+            continue
+        compared += 1
+        # Gate on the fastest round when both sides recorded it (robust to
+        # scheduler noise on shared hosts); pre-PR4 baselines only have the
+        # mean, so fall back to comparing means against those.
+        stat = "min_s" if "min_s" in row and "min_s" in base else "mean_s"
+        ratio = row[stat] / base[stat] if base[stat] else float("inf")
+        verdict = "ok"
+        if ratio > 1 + REGRESSION_THRESHOLD:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        print(
+            f"  {name}: {stat} {base[stat]:.6f}s -> {row[stat]:.6f}s "
+            f"({ratio - 1:+.1%} vs baseline) {verdict}"
+        )
+    if compared == 0:
+        print("  no shared benches to compare — gate is vacuous", file=sys.stderr)
+        return 0
+    if regressions:
+        print(
+            f"FAIL: {len(regressions)} bench(es) regressed >"
+            f"{REGRESSION_THRESHOLD:.0%}: {', '.join(regressions)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"compare: {compared} shared bench(es), none regressed")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -324,6 +421,16 @@ def main(argv=None) -> int:
         "--output",
         default=None,
         help="JSON output path (default: print to stdout only)",
+    )
+    parser.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        # argparse %-interpolates help strings, so the percent sign is doubled
+        help="compare against a committed baseline; exit 1 when any bench "
+        f"shared with it (same mode) is >{REGRESSION_THRESHOLD:.0%} slower".replace(
+            "%", "%%"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -345,6 +452,7 @@ def main(argv=None) -> int:
         fn, rounds = factory(args.quick)
         print(f"[bench] {name} ({rounds} round{'s' if rounds != 1 else ''}) ...", flush=True)
         results[name] = _timed(fn, rounds)
+        results[name]["quick"] = args.quick
         print(f"[bench] {name}: mean {results[name]['mean_s']:.6f}s", flush=True)
 
     width = max(len(n) for n in results) if results else 0
@@ -357,6 +465,8 @@ def main(argv=None) -> int:
             json.dump(results, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"\nwrote {args.output}")
+    if args.compare:
+        return compare_against_baseline(results, args.compare)
     return 0
 
 

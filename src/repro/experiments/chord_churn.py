@@ -70,8 +70,13 @@ def run_churn_experiment(
     domains: int = 10,
     program_kwargs: Optional[dict] = None,
     batching: bool = True,
+    shards: int = 1,
 ) -> ChurnChordResult:
-    """Boot, stabilise, then churn for *churn_duration* while issuing lookups."""
+    """Boot, stabilise, then churn for *churn_duration* while issuing lookups.
+
+    ``shards >= 2`` runs the population on that many event loops under
+    conservative lookahead; results are identical to ``shards=1``.
+    """
     topology = TransitStubTopology(domains=domains, seed=seed)
     network = chord.build_chord_network(
         population,
@@ -81,6 +86,7 @@ def run_churn_experiment(
         join_stagger=join_stagger,
         program_kwargs=program_kwargs,
         batching=batching,
+        shards=shards,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)

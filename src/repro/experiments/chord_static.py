@@ -77,8 +77,13 @@ def run_static_experiment(
     domains: int = 10,
     program_kwargs: Optional[dict] = None,
     batching: bool = True,
+    shards: int = 1,
 ) -> StaticChordResult:
-    """Boot, stabilise, measure idle bandwidth, then drive lookups."""
+    """Boot, stabilise, measure idle bandwidth, then drive lookups.
+
+    ``shards >= 2`` runs the population on that many event loops under
+    conservative lookahead; results are identical to ``shards=1``.
+    """
     topology = TransitStubTopology(domains=domains, seed=seed)
     network = chord.build_chord_network(
         population,
@@ -88,6 +93,7 @@ def run_static_experiment(
         join_stagger=join_stagger,
         program_kwargs=program_kwargs,
         batching=batching,
+        shards=shards,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)

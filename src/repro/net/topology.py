@@ -25,6 +25,34 @@ class Topology:
     def register(self, index: int) -> None:
         """Called by the network when node *index* appears (optional hook)."""
 
+    # -- sharding support ------------------------------------------------------------
+    def shard_key(self, index: int) -> int:
+        """Locality group for *index* used by the sharded simulation driver.
+
+        Nodes sharing a shard key are placed on the same shard, so only
+        latencies between nodes with *different* keys constrain the
+        conservative lookahead.  The default groups nothing (every node its
+        own key); topologies with latency structure override this — e.g. the
+        transit-stub topology keys by stub domain, raising the cross-shard
+        latency floor from ``2·intra`` to ``2·intra + inter``.
+        """
+        return index
+
+    def min_latency(self) -> Optional[float]:
+        """Lower bound on the latency between any two distinct nodes.
+
+        ``None`` means the topology cannot bound it (sharding refuses to run).
+        """
+        return None
+
+    def min_cross_shard_latency(self) -> Optional[float]:
+        """Lower bound on latency between nodes with different shard keys.
+
+        This is the conservative lookahead window of the sharded driver: no
+        cross-shard message can arrive sooner than this after being sent.
+        """
+        return self.min_latency()
+
 
 class UniformTopology(Topology):
     """Every pair of distinct nodes has the same latency (tests, quickstarts)."""
@@ -34,6 +62,9 @@ class UniformTopology(Topology):
 
     def latency(self, a: int, b: int) -> float:
         return 0.0 if a == b else self._latency
+
+    def min_latency(self) -> Optional[float]:
+        return self._latency if self._latency > 0 else None
 
 
 class TransitStubTopology(Topology):
@@ -66,6 +97,23 @@ class TransitStubTopology(Topology):
     def domain_of(self, index: int) -> int:
         return index % self.domains
 
+    def shard_key(self, index: int) -> int:
+        """Shard by stub domain: cross-shard traffic always crosses a domain."""
+        return self.domain_of(index)
+
+    def min_latency(self) -> Optional[float]:
+        """Any two distinct nodes are at least two access links apart."""
+        return 2 * self.intra * self._jitter_floor()
+
+    def min_cross_shard_latency(self) -> Optional[float]:
+        """Nodes in different shards are in different domains (see shard_key),
+        so the latency floor includes the inter-domain transit hop."""
+        return (2 * self.intra + self.inter) * self._jitter_floor()
+
+    def _jitter_floor(self) -> float:
+        # latency() scales by 1 + jitter_fraction * (r - 0.5), r in [0, 1)
+        return 1.0 - self.jitter_fraction / 2 if self.jitter_fraction else 1.0
+
     def latency(self, a: int, b: int) -> float:
         if a == b:
             return 0.0
@@ -88,6 +136,18 @@ class LatencyMatrixTopology(Topology):
         for row in self._matrix:
             if len(row) != n:
                 raise NetworkError("latency matrix must be square")
+
+    def min_latency(self) -> Optional[float]:
+        entries = [
+            self._matrix[a][b]
+            for a in range(len(self._matrix))
+            for b in range(len(self._matrix))
+            if a != b
+        ]
+        if not entries:
+            return None
+        floor = min(entries)
+        return floor if floor > 0 else None
 
     def latency(self, a: int, b: int) -> float:
         try:

@@ -174,10 +174,17 @@ class Network:
         self.loss_rate = loss_rate
         self.classifier = classifier or (lambda tup: DEFAULT_CATEGORY)
         self.mtu = mtu
-        self._rng = random.Random(seed)
+        self.seed = seed
+        # Loss draws come from a per-source stream rather than one shared RNG:
+        # a source's draw sequence then depends only on its own send order,
+        # which the sharded driver preserves, so loss patterns are identical
+        # however the simulation is partitioned across event loops.
+        self._loss_rngs: Dict[str, random.Random] = {}
         self._nodes: Dict[str, Endpoint] = {}
         self._indices: Dict[str, int] = {}
         self._alive: Dict[str, bool] = {}
+        self._loops: Dict[str, EventLoop] = {}
+        self._tx_seq: Dict[str, int] = {}
         self._next_index = 0
         self.stats: Dict[str, NodeTrafficStats] = {}
         self._send_hooks: List[SendHook] = []
@@ -202,9 +209,26 @@ class Network:
         self._nodes[address] = node
         self._indices[address] = index
         self._alive[address] = True
+        # Per-destination loop routing: deliveries are scheduled on the loop
+        # the endpoint runs on (its shard, under the sharded driver).  A
+        # plain endpoint without a loop of its own is assigned one exactly
+        # like a node — the member loop for its topology shard key — so the
+        # lookahead contract holds: anything nearer than the cross-shard
+        # latency floor shares its shard and is scheduled directly.  On an
+        # unsharded network this degenerates to the network's own loop.
+        own = getattr(node, "loop", None)
+        if own is None:
+            member_loop = getattr(self.loop, "member_loop", None)
+            own = member_loop(self.topology.shard_key(index)) if member_loop else self.loop
+        self._loops[address] = own
         self.stats.setdefault(address, NodeTrafficStats())
         self.topology.register(index)
         return index
+
+    def next_index(self) -> int:
+        """The topology index :meth:`register` will assign next (used by the
+        sharded simulation to pick a node's shard before constructing it)."""
+        return self._next_index
 
     def unregister(self, address: str) -> None:
         """Detach a node (it stops receiving; its statistics are retained)."""
@@ -233,6 +257,51 @@ class Network:
         self.classifier = classifier
 
     # -- data path --------------------------------------------------------------------
+    def _clock(self, src: str) -> EventLoop:
+        """The loop whose clock reads the current simulated time for *src*.
+
+        Sends always execute either inside one of the source's own events (so
+        its loop's clock is the event time) or at a sharded-driver barrier
+        (where every loop is aligned), so the source's loop is the correct —
+        and under sharding the only correct — notion of "now".
+        """
+        return self._loops.get(src) or self.loop
+
+    def _lost(self, src: str) -> bool:
+        if not self.loss_rate:
+            return False
+        rng = self._loss_rngs.get(src)
+        if rng is None:
+            rng = self._loss_rngs[src] = random.Random(f"{self.seed}:{src}")
+        return rng.random() < self.loss_rate
+
+    def _schedule_delivery(
+        self,
+        src: str,
+        src_loop: EventLoop,
+        dst: str,
+        now: float,
+        delay: float,
+        callback: Callable[[], None],
+    ) -> None:
+        """Schedule *callback* at ``now + delay`` on the destination's loop.
+
+        The delivery is stamped with priority ``(send_time, source_index,
+        source_seq)``: same-instant deliveries then execute in an order
+        determined by the traffic itself, identically on a single loop and
+        under any sharding — the deterministic cross-shard merge key.  A
+        destination on another loop is posted to its inbox (drained at the
+        next lookahead barrier) instead of touching its heap directly.
+        """
+        seq = self._tx_seq.get(src, 0)
+        self._tx_seq[src] = seq + 1
+        priority = (now, self._indices[src], seq)
+        dst_loop = self._loops.get(dst) or self.loop
+        if dst_loop is src_loop:
+            dst_loop.schedule_at(now + delay, callback, priority)
+        else:
+            dst_loop.post_at(now + delay, callback, priority)
+
     def send(self, src: str, dst: str, tup: Tuple) -> bool:
         """Marshal and send *tup* from *src* to *dst* as its own datagram.
 
@@ -243,21 +312,26 @@ class Network:
         """
         if src not in self._indices:
             raise NetworkError(f"unknown source address {src!r}")
+        src_loop = self._clock(src)
+        now = src_loop.now
         self.messages_sent += 1
         self.datagrams_sent += 1
         size = tup.estimate_size() + PACKET_OVERHEAD_BYTES
         category = self.classifier(tup)
         self.stats.setdefault(src, NodeTrafficStats()).record_tx(size, category)
         for hook in self._send_hooks:
-            hook(src, dst, tup, self.loop.now)
+            hook(src, dst, tup, now)
         if dst not in self._indices:
             self.messages_dropped += 1
             return False
-        if self.loss_rate and self._rng.random() < self.loss_rate:
+        if self._lost(src):
             self.messages_dropped += 1
             return False
         delay = self.topology.latency(self._indices[src], self._indices[dst])
-        self.loop.schedule(delay, lambda: self._deliver(dst, tup, size, category))
+        self._schedule_delivery(
+            src, src_loop, dst, now, delay,
+            lambda: self._deliver(dst, tup, size, category),
+        )
         return True
 
     def send_batch(self, src: str, dst: str, tuples: Iterable[Tuple]) -> int:
@@ -281,7 +355,8 @@ class Network:
             # idle-maintenance rounds emit a single tuple per destination)
             return 1 if self.send(src, dst, batch[0]) else 0
         stats = self.stats.setdefault(src, NodeTrafficStats())
-        now = self.loop.now
+        src_loop = self._clock(src)
+        now = src_loop.now
         known = dst in self._indices
         delay = (
             self.topology.latency(self._indices[src], self._indices[dst])
@@ -302,10 +377,13 @@ class Network:
             if not known:
                 self.messages_dropped += count
                 continue
-            if self.loss_rate and self._rng.random() < self.loss_rate:
+            if self._lost(src):
                 self.messages_dropped += count
                 continue
-            self.loop.schedule(delay, lambda d=datagram: self._deliver_datagram(dst, d))
+            self._schedule_delivery(
+                src, src_loop, dst, now, delay,
+                lambda d=datagram: self._deliver_datagram(dst, d),
+            )
             sent += count
         return sent
 

@@ -271,6 +271,7 @@ def build_chord_network(
     join_stagger: float = 2.0,
     program_kwargs: Optional[dict] = None,
     batching: bool = True,
+    shards: int = 1,
 ) -> ChordNetwork:
     """Create a Chord overlay of *num_nodes* nodes (not yet stabilised).
 
@@ -290,6 +291,7 @@ def build_chord_network(
             id_bits=kwargs["bits"],
             classifier=classify_chord_traffic,
             batching=batching,
+            shards=shards,
         )
     network = ChordNetwork(simulation=simulation, landmark="")
     for i in range(num_nodes):

@@ -53,10 +53,14 @@ class P2Node:
         extra_facts: Sequence[Tuple] = (),
         extra_builtins: Optional[dict] = None,
         batching: bool = True,
+        shard: Optional[int] = None,
     ):
         self.address = address
         self.network = network
+        #: the event loop this node's timers and deliveries run on — under the
+        #: sharded driver, the member loop of :attr:`shard`
         self.loop = loop
+        self.shard = shard
         self.idspace = idspace or IdSpace()
         self.rng = random.Random(seed if seed is not None else hash(address) & 0xFFFFFFFF)
         self.builtins = make_builtins(extra_builtins)
@@ -279,4 +283,5 @@ class P2Node:
         return self.compiled.describe()
 
     def __repr__(self) -> str:
-        return f"<P2Node {self.address} id={self.node_id} alive={self.alive}>"
+        where = f" shard={self.shard}" if self.shard is not None else ""
+        return f"<P2Node {self.address} id={self.node_id} alive={self.alive}{where}>"

@@ -19,11 +19,23 @@ from ..net.topology import Topology, TransitStubTopology, UniformTopology
 from ..net.transport import Network
 from ..overlog import ast, parse_program
 from ..sim.event_loop import EventLoop
+from ..sim.shards import ShardedEventLoop, lookahead_for
 from .node import P2Node
 
 
 class OverlaySimulation:
-    """A population of P2 nodes running one OverLog specification."""
+    """A population of P2 nodes running one OverLog specification.
+
+    With ``shards=1`` (the default and the escape hatch) everything runs on
+    one classic :class:`EventLoop`.  With ``shards>=2`` the node population
+    is partitioned across that many member loops of a
+    :class:`~repro.sim.shards.ShardedEventLoop` — assigned by the topology's
+    ``shard_key`` (stub domain on the transit-stub topology) so the
+    conservative lookahead window is the cross-domain latency floor — while
+    harness timers (:meth:`schedule`) run on its control loop.  A sharded run
+    is observably identical to the single-loop run; the determinism suite in
+    ``tests/test_sharded_sim.py`` enforces this.
+    """
 
     def __init__(
         self,
@@ -35,12 +47,20 @@ class OverlaySimulation:
         id_bits: int = 32,
         classifier: Optional[Callable[[Tuple], str]] = None,
         batching: bool = True,
+        shards: int = 1,
     ):
         self.program = parse_program(program) if isinstance(program, str) else program
-        self.loop = EventLoop()
+        if shards < 1:
+            raise SimulationError(f"shards must be >= 1, got {shards}")
+        topology = topology or UniformTopology(latency=0.01)
+        self.shards = shards
+        if shards > 1:
+            self.loop = ShardedEventLoop(shards, lookahead_for(topology))
+        else:
+            self.loop = EventLoop()
         self.network = Network(
             self.loop,
-            topology or UniformTopology(latency=0.01),
+            topology,
             loss_rate=loss_rate,
             seed=seed,
             classifier=classifier,
@@ -75,17 +95,27 @@ class OverlaySimulation:
             raise SimulationError(f"node {address!r} already exists")
         if node_id is None:
             node_id = self.idspace.wrap(make_unique_id([address]))
+        # Shard assignment: the node's event sources live on the member loop
+        # for its topology locality group (its stub domain on transit-stub),
+        # so only cross-domain traffic crosses shards.
+        shard = None
+        node_loop = self.loop
+        if isinstance(self.loop, ShardedEventLoop):
+            key = self.network.topology.shard_key(self.network.next_index())
+            shard = self.loop.shard_index(key)
+            node_loop = self.loop.member_loop(key)
         node = P2Node(
             address,
             program if program is not None else self.program,
             self.network,
-            self.loop,
+            node_loop,
             node_id=node_id,
             idspace=self.idspace,
             seed=self._rng.getrandbits(32),
             extra_facts=extra_facts,
             extra_builtins=extra_builtins,
             batching=self.batching,
+            shard=shard,
         )
         self.network.register(node)
         self.nodes[address] = node
@@ -151,6 +181,7 @@ def transit_stub_simulation(
     loss_rate: float = 0.0,
     classifier: Optional[Callable[[Tuple], str]] = None,
     batching: bool = True,
+    shards: int = 1,
 ) -> OverlaySimulation:
     """A simulation configured like the paper's Emulab testbed (Section 5)."""
     return OverlaySimulation(
@@ -161,4 +192,5 @@ def transit_stub_simulation(
         id_bits=id_bits,
         classifier=classifier,
         batching=batching,
+        shards=shards,
     )

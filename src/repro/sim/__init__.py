@@ -3,11 +3,14 @@
 from .churn import ChurnProcess, ChurnStats
 from .event_loop import EventHandle, EventLoop
 from .metrics import BandwidthMeter, ConsistencyOracle, LookupRecord, LookupTracker
+from .shards import ShardedEventLoop, lookahead_for
 from .workload import LookupWorkload
 
 __all__ = [
     "EventLoop",
     "EventHandle",
+    "ShardedEventLoop",
+    "lookahead_for",
     "ChurnProcess",
     "ChurnStats",
     "BandwidthMeter",

@@ -14,7 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from .event_loop import EventLoop
+from .event_loop import EventHandle, EventLoop
 
 
 @dataclass
@@ -60,18 +60,32 @@ class ChurnProcess:
         self._add_member = add_member
         self._rng = random.Random(seed)
         self._running = False
+        self._next: Optional[EventHandle] = None
         self.stats = ChurnStats()
 
     # -- control -------------------------------------------------------------------
     def start(self) -> None:
-        """Begin churning: each churn event fails one member and adds one."""
+        """Begin churning: each churn event fails one member and adds one.
+
+        Idempotent: a second start while running must not spawn a second
+        concurrent callback chain (which would double the churn rate).
+        """
         if self._running:
             return
         self._running = True
         self._schedule_next()
 
     def stop(self) -> None:
+        """Stop churning and cancel the already-scheduled next event.
+
+        Without the cancel, the pending event stays live after stop(), and a
+        later start() would schedule a *second* chain alongside it — from
+        then on every chain fires and reschedules, doubling the churn rate.
+        """
         self._running = False
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
 
     # -- internals ------------------------------------------------------------------
     def _mean_interval(self) -> float:
@@ -84,9 +98,10 @@ class ChurnProcess:
         if not self._running:
             return
         delay = self._rng.expovariate(1.0 / self._mean_interval())
-        self._loop.schedule(delay, self._churn_once)
+        self._next = self._loop.schedule(delay, self._churn_once)
 
     def _churn_once(self) -> None:
+        self._next = None
         if not self._running:
             return
         members = self._list_members()

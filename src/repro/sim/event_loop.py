@@ -3,6 +3,24 @@
 All timing in the reproduction — periodic OverLog events, network delivery
 delays, churn arrivals, workload generation, metric sampling — runs on one of
 these loops, which makes every experiment deterministic for a fixed seed.
+
+Events are ordered by ``(time, priority, seq)``.  The *priority* is an
+optional tuple supplied by the scheduler's caller; events scheduled without
+one (the common case) carry the empty tuple and therefore order among
+themselves by schedule order (FIFO at equal times), exactly as before.  The
+network transport stamps every delivery with a priority of
+``(send_time, source_index, source_seq)``, which makes the relative order of
+same-instant deliveries a pure function of *what was sent when by whom* —
+independent of which event loop the sender and receiver live on.  That
+property is what lets the sharded driver (:mod:`repro.sim.shards`) merge
+cross-shard traffic deterministically and reproduce the single-loop run
+exactly.
+
+For sharding, a loop can also accept events from *other* loops through
+:meth:`post_at`, which buffers them in an inbox until :meth:`drain_posted`
+folds them into the heap in deterministic ``(time, priority)`` order.  The
+sharded driver drains inboxes only at lookahead barriers, so the heap is
+never mutated while a shard is mid-window.
 """
 
 from __future__ import annotations
@@ -10,14 +28,18 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..core.errors import SimulationError
+
+#: Priority type: an (arbitrary-length, but mutually comparable) tuple.
+Priority = Tuple[Any, ...]
 
 
 @dataclass(order=True)
 class _Event:
     time: float
+    prio: Priority
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
@@ -68,31 +90,87 @@ class EventLoop:
         self._seq = itertools.count()
         self._live = 0          # non-cancelled events currently in the heap
         self._cancelled = 0     # cancelled events still occupying heap slots
+        self._posted: List[Tuple[float, Priority, Callable[[], None]]] = []
         self.processed = 0
 
     @property
     def now(self) -> float:
         return self._now
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule(
+        self, delay: float, callback: Callable[[], None], priority: Priority = ()
+    ) -> EventHandle:
         """Run *callback* after *delay* simulated seconds."""
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}s into the past")
-        return self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback, priority)
 
-    def schedule_at(self, when: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule_at(
+        self, when: float, callback: Callable[[], None], priority: Priority = ()
+    ) -> EventHandle:
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} which is before current time {self._now}"
             )
-        event = _Event(when, next(self._seq), callback)
+        event = _Event(when, priority, next(self._seq), callback)
         heapq.heappush(self._queue, event)
         self._live += 1
         return EventHandle(event, self)
 
+    # -- cross-loop scheduling (sharding) ------------------------------------------
+    def post_at(
+        self, when: float, callback: Callable[[], None], priority: Priority = ()
+    ) -> None:
+        """Buffer an event sent from *another* loop's execution context.
+
+        Posted events sit in an inbox (a plain list — ``append`` keeps this
+        safe even from worker threads) and enter the heap only when
+        :meth:`drain_posted` runs, so a loop's heap is never touched while it
+        is processing a lookahead window.  Callers must guarantee *when* is
+        not in this loop's past by the time the inbox is drained — the
+        conservative-lookahead contract of :mod:`repro.sim.shards`.
+        """
+        self._posted.append((when, priority, callback))
+
+    def drain_posted(self) -> int:
+        """Fold inbox events into the heap; returns how many were merged.
+
+        Entries are sorted by ``(time, priority)`` before insertion, so the
+        resulting schedule order is independent of the order in which source
+        shards appended them — the deterministic cross-shard merge.
+        """
+        if not self._posted:
+            return 0
+        posted, self._posted = self._posted, []
+        posted.sort(key=lambda item: (item[0], item[1]))
+        for when, priority, callback in posted:
+            self.schedule_at(when, callback, priority)
+        return len(posted)
+
+    def posted_count(self) -> int:
+        """Events waiting in the inbox, not yet merged into the heap."""
+        return len(self._posted)
+
+    # -- introspection ---------------------------------------------------------------
     def pending(self) -> int:
         """Live (non-cancelled) events awaiting execution — O(1)."""
         return self._live
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest live event in the heap, or None.
+
+        Pops any cancelled events blocking the head, so repeated peeks stay
+        amortized O(1).  Does not look at the inbox (drain first).
+        """
+        queue = self._queue
+        while queue:
+            head = queue[0]
+            if head.cancelled:
+                heapq.heappop(queue)
+                self._cancelled -= 1
+                continue
+            return head.time
+        return None
 
     def _note_cancelled(self) -> None:
         """Called by :meth:`EventHandle.cancel` for an event still in the heap."""
@@ -124,20 +202,34 @@ class EventLoop:
             return True
         return False
 
-    def run_until(self, deadline: float) -> None:
-        """Process events up to and including *deadline* and advance the clock."""
+    def _run_to(self, deadline: float, inclusive: bool) -> None:
         if deadline < self._now:
             raise SimulationError("deadline is in the past")
+        # events exactly at the deadline run only on the inclusive path
         while self._queue:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
                 self._cancelled -= 1
                 continue
-            if head.time > deadline:
+            if (head.time > deadline) if inclusive else (head.time >= deadline):
                 break
             self.step()
         self._now = max(self._now, deadline)
+
+    def run_until(self, deadline: float) -> None:
+        """Process events up to and including *deadline* and advance the clock."""
+        self._run_to(deadline, inclusive=True)
+
+    def run_until_exclusive(self, deadline: float) -> None:
+        """Process events strictly before *deadline*; advance the clock to it.
+
+        The sharded driver's window primitive: a shard may safely run all
+        events in ``[now, deadline)`` when *deadline* is within the
+        conservative lookahead, because no cross-shard message can arrive
+        earlier than that.  Events at exactly *deadline* are left in place.
+        """
+        self._run_to(deadline, inclusive=False)
 
     def run_for(self, duration: float) -> None:
         self.run_until(self._now + duration)

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Iterable, List, Optional,
 
 from ..core.idspace import IdSpace
 from ..core.tuples import Tuple
-from .event_loop import EventLoop
+from .event_loop import EventHandle, EventLoop
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance (net imports sim)
     from ..net.transport import Network
@@ -99,8 +99,17 @@ class LookupTracker:
         return record
 
     def attach(self, node) -> None:
-        """Subscribe to a node's ``lookupResults`` stream to catch completions."""
-        node.subscribe("lookupResults", self._on_results)
+        """Subscribe to a node's ``lookupResults`` stream to catch completions.
+
+        Completion is timestamped off the *node's* loop: under the sharded
+        driver the tracker's loop is the facade, whose clock only advances at
+        window granularity, while the node's member loop reads the exact
+        event time — the same value a single-loop run records.
+        """
+        loop = getattr(node, "loop", None) or self._loop
+        node.subscribe(
+            "lookupResults", lambda tup, _loop=loop: self._on_results(tup, _loop.now)
+        )
 
     # -- observation hooks ------------------------------------------------------------
     def _on_send(self, src: str, dst: str, tup: Tuple, now: float) -> None:
@@ -110,14 +119,14 @@ class LookupTracker:
         if record is not None and not record.completed:
             record.hops += 1
 
-    def _on_results(self, tup: Tuple) -> None:
+    def _on_results(self, tup: Tuple, now: Optional[float] = None) -> None:
         # lookupResults(R, K, S, SI, E)
         if len(tup.fields) < 5:
             return
         record = self.records.get(tup.fields[4])
         if record is None or record.completed:
             return
-        record.completed_at = self._loop.now
+        record.completed_at = self._loop.now if now is None else now
         record.result_id = tup.fields[2]
         record.result_address = tup.fields[3]
         record.oracle_id = self._oracle.owner_id(record.key)
@@ -179,16 +188,24 @@ class BandwidthMeter:
         self._last_total = 0
         self._last_time = loop.now
         self._running = False
+        self._next: Optional["EventHandle"] = None
 
     def start(self) -> None:
+        """Begin sampling; idempotent while already running."""
         if self._running:
             return
         self._running = True
         self._last_total = self._network.total_tx_bytes(self.category)
         self._last_time = self._loop.now
-        self._loop.schedule(self.window, self._sample)
+        self._next = self._loop.schedule(self.window, self._sample)
 
     def _sample(self) -> None:
+        self._next = None
+        if not self._running:
+            # A stale event racing stop() must not record: a sample appended
+            # after stop() would cover the post-measurement phase and skew
+            # mean_rate() for meters stopped mid-run.
+            return
         now = self._loop.now
         total = self._network.total_tx_bytes(self.category)
         elapsed = max(now - self._last_time, 1e-9)
@@ -198,10 +215,19 @@ class BandwidthMeter:
         self._last_total = total
         self._last_time = now
         if self._running:
-            self._loop.schedule(self.window, self._sample)
+            self._next = self._loop.schedule(self.window, self._sample)
 
     def stop(self) -> None:
+        """Stop sampling and cancel the pending sample event.
+
+        Leaving the scheduled event live would both record one post-stop
+        window and, after a restart, leave two concurrent sampling chains
+        running (doubling the sample rate).
+        """
         self._running = False
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
 
     def mean_rate(self, skip_initial: int = 0) -> float:
         usable = self.samples[skip_initial:]

@@ -14,7 +14,7 @@ import random
 from typing import Callable, Optional
 
 from ..core.tuples import Tuple, fresh_tuple_id
-from .event_loop import EventLoop
+from .event_loop import EventHandle, EventLoop
 from .metrics import LookupTracker
 
 
@@ -40,22 +40,36 @@ class LookupWorkload:
         self._rng = random.Random(seed)
         self._bits = key_bits or chord_network.idspace.bits
         self._running = False
+        self._next: Optional[EventHandle] = None
         self.issued = 0
 
     def start(self) -> None:
+        """Begin issuing lookups; idempotent while already running."""
         if self._running:
             return
         self._running = True
-        self._loop.schedule(self._rng.uniform(0, self._interval), self._tick)
+        self._next = self._loop.schedule(
+            self._rng.uniform(0, self._interval), self._tick
+        )
 
     def stop(self) -> None:
+        """Stop the workload and cancel the already-scheduled next tick.
+
+        The pending tick must not stay live: it would fire after stop() and,
+        once start() ran again, reschedule alongside the new chain — two
+        concurrent chains issuing lookups at double the configured rate.
+        """
         self._running = False
+        if self._next is not None:
+            self._next.cancel()
+            self._next = None
 
     def _tick(self) -> None:
+        self._next = None
         if not self._running:
             return
         self._issue_one()
-        self._loop.schedule(self._interval, self._tick)
+        self._next = self._loop.schedule(self._interval, self._tick)
 
     def _issue_one(self) -> None:
         alive = [n for n in self._network.nodes if n.alive]

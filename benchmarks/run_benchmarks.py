@@ -22,11 +22,20 @@ Usage::
 
 ``--quick`` shrinks operation counts and populations so the whole sweep
 finishes in well under a minute; full mode matches the committed baselines.
-Every row records which mode produced it (``"quick": true/false``) so that
+Every row records which mode produced it (``"quick": true/false``, and since
+PR 5 ``"fused": true/false`` — whether strands ran as compiled closures or
+through the interpreted element walk, toggled with ``--interpreted``) so that
 ``--compare`` only ever compares like with like: it checks each freshly-run
 bench against the same-named, same-mode row of the given baseline file and
 exits non-zero when any regresses by more than 25% — the regression gate
 ``make bench`` runs against the newest committed ``BENCH_PR<n>.json``.
+A fused row is never diffed against an interpreted baseline row (rows
+predating the flag count as fused: they were produced by the engine default
+of their day and sit on the same default-mode trajectory).
+
+``--profile`` wraps each selected benchmark in :mod:`cProfile` and prints the
+top 20 functions by cumulative time — hot-spot hunts in one command, e.g.
+``python -m benchmarks --only fig3 --quick --profile``.
 """
 
 from __future__ import annotations
@@ -76,7 +85,7 @@ def _timed(fn, rounds: int) -> dict:
 
 
 # --------------------------------------------------------------------------- micro
-def bench_table_ops(quick: bool):
+def bench_table_ops(quick: bool, fused: bool = True):
     """Insert/lookup throughput on a 10k-row soft-state table.
 
     The table has a finite lifetime, so every operation goes through the
@@ -107,7 +116,7 @@ def bench_table_ops(quick: bool):
     return run, (2 if quick else 5)
 
 
-def bench_table_expiry_churn(quick: bool):
+def bench_table_expiry_churn(quick: bool, fused: bool = True):
     """Continuous expiry under insert churn (steady-state soft state).
 
     Tuples live 1s and inserts advance time 1ms per op, so the table holds
@@ -133,7 +142,7 @@ def bench_table_expiry_churn(quick: bool):
     return run, (2 if quick else 5)
 
 
-def bench_pel_arith(quick: bool):
+def bench_pel_arith(quick: bool, fused: bool = True):
     """Execute the compiled ``(X + 1) * 2 < Y`` program (one run per tuple)."""
     from repro.overlog import parse_expression
     from repro.overlog.builtins import make_builtins
@@ -151,7 +160,7 @@ def bench_pel_arith(quick: bool):
     return run, (3 if quick else 5)
 
 
-def bench_pel_ring_interval(quick: bool):
+def bench_pel_ring_interval(quick: bool, fused: bool = True):
     """The ``K in (N, S]`` interval test at the heart of Chord's lookup rules."""
     from repro.overlog import parse_expression
     from repro.overlog.builtins import make_builtins
@@ -171,7 +180,7 @@ def bench_pel_ring_interval(quick: bool):
     return run, (3 if quick else 5)
 
 
-def bench_event_loop(quick: bool):
+def bench_event_loop(quick: bool, fused: bool = True):
     """Schedule/cancel/drain churn with interleaved pending() bookkeeping."""
     from repro.sim import EventLoop
 
@@ -192,7 +201,7 @@ def bench_event_loop(quick: bool):
 
 
 # --------------------------------------------------------------------- experiments
-def _fig3_bench(quick: bool, shards: int):
+def _fig3_bench(quick: bool, shards: int, fused: bool = True):
     """One Figure 3 workload, shared by the unsharded and sharded rows so
     their parameters cannot drift apart (the rows are only meaningful as a
     directly-comparable pair)."""
@@ -210,6 +219,7 @@ def _fig3_bench(quick: bool, shards: int):
             lookup_rate=4.0,
             drain_time=30.0,
             shards=shards,
+            fused=fused,
         )
         assert result.lookups_issued > 0
         return {"shards": shards} if shards > 1 else None
@@ -217,7 +227,7 @@ def _fig3_bench(quick: bool, shards: int):
     return run, (1 if quick else 2)
 
 
-def _fig4_bench(quick: bool, shards: int):
+def _fig4_bench(quick: bool, shards: int, fused: bool = True):
     """One Figure 4 churn workload, shared like :func:`_fig3_bench`."""
     from repro.experiments import run_churn_experiment
 
@@ -234,6 +244,7 @@ def _fig4_bench(quick: bool, shards: int):
             drain_time=30.0,
             program_kwargs=dict(MAINTENANCE_KWARGS),
             shards=shards,
+            fused=fused,
         )
         assert result.lookups_issued > 0
         return {"shards": shards} if shards > 1 else None
@@ -241,17 +252,17 @@ def _fig4_bench(quick: bool, shards: int):
     return run, (1 if quick else 2)
 
 
-def bench_fig3_static(quick: bool):
+def bench_fig3_static(quick: bool, fused: bool = True):
     """The Figure 3 static-membership Chord experiment (scaled population)."""
-    return _fig3_bench(quick, shards=1)
+    return _fig3_bench(quick, shards=1, fused=fused)
 
 
-def bench_fig4_churn(quick: bool):
+def bench_fig4_churn(quick: bool, fused: bool = True):
     """The Figure 4 churn experiment (scaled population and session time)."""
-    return _fig4_bench(quick, shards=1)
+    return _fig4_bench(quick, shards=1, fused=fused)
 
 
-def bench_fig3_static_sharded(quick: bool):
+def bench_fig3_static_sharded(quick: bool, fused: bool = True):
     """Figure 3 on the sharded driver (shards=2), same workload as
     ``fig3_static`` so the two rows are directly comparable wall-clock.
 
@@ -259,16 +270,16 @@ def bench_fig3_static_sharded(quick: bool):
     suite enforces that); this row tracks what the conservative-lookahead
     machinery costs — or, on a multi-core backend, saves.
     """
-    return _fig3_bench(quick, shards=2)
+    return _fig3_bench(quick, shards=2, fused=fused)
 
 
-def bench_fig4_churn_sharded(quick: bool):
+def bench_fig4_churn_sharded(quick: bool, fused: bool = True):
     """Figure 4 churn on the sharded driver (shards=2), same workload as
     ``fig4_churn`` for a direct wall-clock comparison."""
-    return _fig4_bench(quick, shards=2)
+    return _fig4_bench(quick, shards=2, fused=fused)
 
 
-def bench_micro_send_batch(quick: bool):
+def bench_micro_send_batch(quick: bool, fused: bool = True):
     """Raw transport throughput: one datagram train vs. tuple-at-a-time."""
     from repro.core import Tuple
     from repro.net import Network, UniformTopology
@@ -298,7 +309,61 @@ def bench_micro_send_batch(quick: bool):
     return run, (2 if quick else 5)
 
 
-def bench_fig4_churn_transport(quick: bool):
+def bench_strand_fire(quick: bool, fused: bool = True):
+    """Fused vs. interpreted strand firing on a hot Chord-like rule shape.
+
+    Builds one node whose program contains a select → join → assign →
+    select → project strand (the single-join shape that dominates Chord
+    execution), then fires the same event repeatedly through the compiled
+    closure (``strand.process``) and through the element-walking oracle
+    (``strand.process_interpreted``).  The row's extras persist both
+    timings and their ratio — the headline number strand fusion is about.
+    """
+    import time as _time
+
+    from repro.core import Tuple
+    from repro.net import Network, UniformTopology
+    from repro.runtime.node import P2Node
+    from repro.sim import EventLoop
+
+    source = """
+        materialize(member, infinity, infinity, keys(2)).
+        B1 out@NI(NI, Y, D2) :- probe@NI(NI, X, D), D < 1000,
+           member@NI(NI, Y), D2 := D + X, D2 > 0.
+    """
+    loop = EventLoop()
+    net = Network(loop, UniformTopology(latency=0.01))
+    node = P2Node("n1", source, net, loop, seed=1)
+    net.register(node)
+    for i in range(8):
+        node.tables.get("member").insert(Tuple.make("member", "n1", f"peer-{i}"), 0.0)
+    strand = node.compiled.strands_by_event["probe"][0]
+    event = Tuple.make("probe", "n1", 3, 10)
+    n = 500 if quick else 3_000
+    perf_counter = _time.perf_counter
+
+    def run():
+        process = strand.process
+        t0 = perf_counter()
+        for _ in range(n):
+            process(event, "n1")
+        fused_s = perf_counter() - t0
+        interpreted = strand.process_interpreted
+        t0 = perf_counter()
+        for _ in range(n):
+            interpreted(event, "n1")
+        interpreted_s = perf_counter() - t0
+        assert strand.produced == strand.fired * 8
+        return {
+            "fused_s": round(fused_s, 6),
+            "interpreted_s": round(interpreted_s, 6),
+            "fused_speedup": round(interpreted_s / fused_s, 2),
+        }
+
+    return run, (3 if quick else 5)
+
+
+def bench_fig4_churn_transport(quick: bool, fused: bool = True):
     """Figure-4 churn on both transport paths: wall-clock plus wire counters.
 
     Persists, next to the timing, the number of send events (scheduled
@@ -315,6 +380,7 @@ def bench_fig4_churn_transport(quick: bool):
         lookup_rate=2.0,
         drain_time=20.0,
         program_kwargs=dict(MAINTENANCE_KWARGS),
+        fused=fused,
     )
     sim_seconds = population * 1.0 + 120.0 + 120.0 + 20.0
 
@@ -347,11 +413,25 @@ BENCHES = {
     "micro_pel_ring_interval": bench_pel_ring_interval,
     "micro_event_loop_churn": bench_event_loop,
     "micro_send_batch": bench_micro_send_batch,
+    "micro_strand_fire": bench_strand_fire,
     "fig3_static": bench_fig3_static,
     "fig4_churn": bench_fig4_churn,
     "fig4_churn_transport": bench_fig4_churn_transport,
     "fig3_static_sharded": bench_fig3_static_sharded,
     "fig4_churn_sharded": bench_fig4_churn_sharded,
+}
+
+#: Benches whose workload actually honours ``--interpreted`` (they thread
+#: ``fused`` into the experiments).  Only their rows are stamped with the
+#: run's mode; the engine micros neither execute strands nor take the flag
+#: (``micro_strand_fire`` always measures both paths), so marking them
+#: interpreted would only make the ``make bench`` regression gate vacuous.
+FUSED_SENSITIVE = {
+    "fig3_static",
+    "fig4_churn",
+    "fig4_churn_transport",
+    "fig3_static_sharded",
+    "fig4_churn_sharded",
 }
 
 #: --compare fails on a shared bench slower than baseline by more than this.
@@ -380,6 +460,12 @@ def compare_against_baseline(results: dict, baseline_path: str) -> int:
             continue
         if bool(row.get("quick")) != bool(base.get("quick")):
             print(f"  {name}: skipped (quick/full mode mismatch with baseline)")
+            continue
+        # Never diff a fused row against an interpreted one (or vice versa);
+        # rows predating the flag were produced by their engine's default
+        # path and count as fused — the default-mode trajectory is one line.
+        if bool(row.get("fused", True)) != bool(base.get("fused", True)):
+            print(f"  {name}: skipped (fused/interpreted mode mismatch with baseline)")
             continue
         compared += 1
         # Gate on the fastest round when both sides recorded it (robust to
@@ -423,6 +509,19 @@ def main(argv=None) -> int:
         help="JSON output path (default: print to stdout only)",
     )
     parser.add_argument(
+        "--interpreted",
+        action="store_true",
+        help="run the experiment benchmarks with fused=False (the interpreted "
+        "rule-strand escape hatch); rows are marked so --compare never diffs "
+        "them against fused baselines",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each selected benchmark with cProfile and print the "
+        "top 20 functions by cumulative time",
+    )
+    parser.add_argument(
         "--compare",
         default=None,
         metavar="BASELINE.json",
@@ -449,10 +548,21 @@ def main(argv=None) -> int:
     for name, factory in BENCHES.items():
         if args.only and args.only not in name:
             continue
-        fn, rounds = factory(args.quick)
+        fn, rounds = factory(args.quick, not args.interpreted)
         print(f"[bench] {name} ({rounds} round{'s' if rounds != 1 else ''}) ...", flush=True)
-        results[name] = _timed(fn, rounds)
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            results[name] = _timed(fn, rounds)
+            profiler.disable()
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        else:
+            results[name] = _timed(fn, rounds)
         results[name]["quick"] = args.quick
+        results[name]["fused"] = not (args.interpreted and name in FUSED_SENSITIVE)
         print(f"[bench] {name}: mean {results[name]['mean_s']:.6f}s", flush=True)
 
     width = max(len(n) for n in results) if results else 0

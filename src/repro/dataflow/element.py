@@ -28,7 +28,17 @@ from ..core.tuples import Tuple
 
 @dataclass
 class ElementStats:
-    """Per-element counters (exported for introspection/debugging)."""
+    """Per-element counters (exported for introspection/debugging).
+
+    Contract: ``pushed_in``/``emitted`` are maintained by the push-driven
+    transfer paths (:meth:`Element.push` / :meth:`Element.emit` and their
+    batch forms); ``dropped`` (and ``emitted`` for :class:`Aggregate`) is
+    maintained by the operators' own ``process`` logic.  Strand execution —
+    interpreted *and* fused alike — calls operators without going through
+    ``push``, so inside strands only the latter group advances, and the
+    fused closures are required to advance it identically to the
+    interpreted walk (the strand-fusion differential suite asserts this).
+    """
 
     pushed_in: int = 0
     emitted: int = 0

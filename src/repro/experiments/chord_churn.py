@@ -71,11 +71,14 @@ def run_churn_experiment(
     program_kwargs: Optional[dict] = None,
     batching: bool = True,
     shards: int = 1,
+    fused: bool = True,
 ) -> ChurnChordResult:
     """Boot, stabilise, then churn for *churn_duration* while issuing lookups.
 
     ``shards >= 2`` runs the population on that many event loops under
-    conservative lookahead; results are identical to ``shards=1``.
+    conservative lookahead; ``fused=False`` interprets the rule strands
+    instead of running their compiled closures.  Results are identical
+    either way.
     """
     topology = TransitStubTopology(domains=domains, seed=seed)
     network = chord.build_chord_network(
@@ -87,6 +90,7 @@ def run_churn_experiment(
         program_kwargs=program_kwargs,
         batching=batching,
         shards=shards,
+        fused=fused,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)

@@ -272,6 +272,7 @@ def build_chord_network(
     program_kwargs: Optional[dict] = None,
     batching: bool = True,
     shards: int = 1,
+    fused: bool = True,
 ) -> ChordNetwork:
     """Create a Chord overlay of *num_nodes* nodes (not yet stabilised).
 
@@ -292,6 +293,7 @@ def build_chord_network(
             classifier=classify_chord_traffic,
             batching=batching,
             shards=shards,
+            fused=fused,
         )
     network = ChordNetwork(simulation=simulation, landmark="")
     for i in range(num_nodes):

@@ -51,6 +51,36 @@ class Program:
             fn = self._compiled = compile_program(self)
         return fn
 
+    # -- shape introspection (used by the strand compiler) --------------------
+    def _effective_instructions(self) -> List[Instruction]:
+        """Instructions up to (excluding) the first STOP."""
+        out: List[Instruction] = []
+        for instr in self.instructions:
+            if instr[0] is Op.STOP:
+                break
+            out.append(instr)
+        return out
+
+    def as_field_load(self) -> Optional[int]:
+        """The field position when this program is exactly ``LOAD n``.
+
+        The planner emits bare variable references (join keys, head fields
+        that copy a body variable) as single-LOAD programs; the strand
+        compiler turns those evals into plain field accesses.  Returns
+        ``None`` for anything else.
+        """
+        instrs = self._effective_instructions()
+        if len(instrs) == 1 and instrs[0][0] is Op.LOAD:
+            return instrs[0][1]
+        return None
+
+    def as_constant(self) -> PyTuple[bool, Any]:
+        """``(True, value)`` when this program is exactly ``PUSH value``."""
+        instrs = self._effective_instructions()
+        if len(instrs) == 1 and instrs[0][0] is Op.PUSH:
+            return True, instrs[0][1]
+        return False, None
+
     def __len__(self) -> int:
         return len(self.instructions)
 

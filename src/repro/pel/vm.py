@@ -71,6 +71,27 @@ class EvalContext:
         self.node = node
         self.idspace = idspace or IdSpace()
 
+    @classmethod
+    def for_host(cls, host: Any) -> "EvalContext":
+        """A long-lived context bound to *host*, meant to be reused.
+
+        The per-eval construction above defensively copies the builtin map;
+        a reusable context instead *shares* the host's live mapping (so later
+        registrations are visible, matching the copy-per-eval behaviour) and
+        is rebound to each tuple by assigning :attr:`fields` in place.  This
+        is the context-reuse API the fused strand pipelines are built on: one
+        context per compiled strand, zero allocations per eval.
+        """
+        ctx = cls.__new__(cls)
+        ctx.fields = ()
+        builtins = getattr(host, "builtins", None)
+        # keep the host's mapping even when it is currently empty — builtins
+        # registered later must stay visible, as they are to the per-eval path
+        ctx.builtins = builtins if builtins is not None else {}
+        ctx.node = host
+        ctx.idspace = getattr(host, "idspace", None) or IdSpace()
+        return ctx
+
     def call(self, name: str, args: Sequence[Any]) -> Any:
         fn = self.builtins.get(name)
         if fn is None:

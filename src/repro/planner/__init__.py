@@ -3,10 +3,14 @@
 from .analyzer import RuleAnalysis, RuleKind, analyze_program, analyze_rule
 from .planner import CompiledDataflow, Planner
 from .strand import ContinuousAggregateStrand, HeadRoute, PeriodicSpec, RuleStrand, StrandResult
+from .strand_compiler import fuse_continuous, fuse_dataflow, fuse_strand
 
 __all__ = [
     "Planner",
     "CompiledDataflow",
+    "fuse_strand",
+    "fuse_continuous",
+    "fuse_dataflow",
     "RuleStrand",
     "ContinuousAggregateStrand",
     "PeriodicSpec",

@@ -53,6 +53,10 @@ class CompiledDataflow:
     #: every strand's remote-bound head tuples funnel through it so one
     #: run-queue drain becomes one datagram train per destination
     transmit: Optional[TransmitBuffer] = None
+    #: True when every strand runs through the closure compiled by
+    #: :mod:`repro.planner.strand_compiler` (the default); False is the
+    #: element-walking escape hatch / differential oracle
+    fused: bool = False
 
     def all_strands(self) -> List[RuleStrand]:
         out: List[RuleStrand] = []
@@ -76,12 +80,22 @@ class CompiledDataflow:
 class Planner:
     """Compiles one OverLog program for one hosting node."""
 
-    def __init__(self, program: "ast.Program | str", host: Any, tables: TableStore):
+    def __init__(
+        self,
+        program: "ast.Program | str",
+        host: Any,
+        tables: TableStore,
+        *,
+        fused: bool = True,
+    ):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
         self.host = host
         self.tables = tables
+        #: compile each strand into a fused closure (the default); False
+        #: keeps the interpreted element walk — the differential oracle
+        self.fused = fused
 
     # -- public API ---------------------------------------------------------------
     def compile(self) -> CompiledDataflow:
@@ -101,6 +115,10 @@ class Planner:
                 else:
                     compiled.strands_by_event.setdefault(event_pred.name, []).append(strand)
         compiled.facts = [self._resolve_fact(f) for f in self.program.facts]
+        if self.fused:
+            from .strand_compiler import fuse_dataflow
+
+            fuse_dataflow(compiled, self.host)
         return compiled
 
     # -- tables ---------------------------------------------------------------------

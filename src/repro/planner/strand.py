@@ -10,6 +10,14 @@ hosting node runtime acts upon.
 
 Execution is run-to-completion per event, matching the observable semantics
 of P2's single-threaded event loop.
+
+Two executors exist per strand.  The *interpreted* walk below
+(:meth:`RuleStrand.process_interpreted`) iterates the element chain with one
+batch list per operator; it is the reference semantics.  The default
+execution path is the *fused* closure compiled by
+:mod:`repro.planner.strand_compiler`, installed over :meth:`process` at plan
+time — the interpreted walk is kept as the differential-testing oracle and
+as the ``fused=False`` escape hatch.
 """
 
 from __future__ import annotations
@@ -79,10 +87,21 @@ class RuleStrand:
         self.min_event_arity = min_event_arity
         self.fired = 0
         self.produced = 0
+        #: True once the strand compiler has installed a fused ``process``
+        self.fused = False
 
     # -- execution -----------------------------------------------------------------
     def process(self, event: Tuple, local_address: Any) -> StrandResult:
-        """Run the strand for one triggering *event* tuple."""
+        """Run the strand for one triggering *event* tuple.
+
+        When the strand has been fused this method is shadowed by the
+        compiled closure (an instance attribute); this class-level fallback
+        is the interpreted path.
+        """
+        return self.process_interpreted(event, local_address)
+
+    def process_interpreted(self, event: Tuple, local_address: Any) -> StrandResult:
+        """The element-walking executor — the fused path's differential oracle."""
         if len(event.fields) < self.min_event_arity:
             raise PlannerError(
                 f"rule {self.rule_id}: event {event!r} has arity {len(event.fields)}, "
@@ -175,9 +194,19 @@ class ContinuousAggregateStrand:
         self.watched_tables = list(watched_tables)
         self._last_emitted: dict = {}
         self.recomputations = 0
+        #: True once the strand compiler has installed a fused ``recompute``
+        self.fused = False
 
     def recompute(self, now: float, local_address: Any) -> List[HeadRoute]:
-        """Re-derive the aggregate and return routes for changed groups."""
+        """Re-derive the aggregate and return routes for changed groups.
+
+        Shadowed by the fused closure (an instance attribute) when the
+        strand compiler has run; this class-level fallback interprets.
+        """
+        return self.recompute_interpreted(now, local_address)
+
+    def recompute_interpreted(self, now: float, local_address: Any) -> List[HeadRoute]:
+        """The element-walking recompute — the fused path's oracle."""
         self.recomputations += 1
         # scan() already returns a fresh list that is safe to consume
         batch: List[Tuple] = self.base_table.scan(now)

@@ -54,6 +54,7 @@ class P2Node:
         extra_builtins: Optional[dict] = None,
         batching: bool = True,
         shard: Optional[int] = None,
+        fused: bool = True,
     ):
         self.address = address
         self.network = network
@@ -67,15 +68,20 @@ class P2Node:
         self.node_id = node_id
         self.alive = False
         self.batching = batching
+        #: strands run as fused closures by default; ``fused=False`` is the
+        #: interpreted element-walk escape hatch (the differential oracle)
+        self.fused = fused
         self.tables = TableStore()
-        self.compiled: CompiledDataflow = Planner(program, self, self.tables).compile()
+        self.compiled: CompiledDataflow = Planner(
+            program, self, self.tables, fused=fused
+        ).compile()
         #: planner-built egress element; every remote-bound head tuple is
         #: coalesced here and flushed as datagram trains once per drain
         self.transmit = self.compiled.transmit
         self._extra_facts = list(extra_facts)
         self._pending: Deque[Tuple] = deque()
         self._processing = False
-        self._dirty_continuous: List[ContinuousAggregateStrand] = []
+        self._dirty_continuous: Deque[ContinuousAggregateStrand] = deque()
         self._dirty_set: Set[int] = set()
         self._subscriptions: Dict[str, List[Subscriber]] = {}
         self._timers: List[EventHandle] = []
@@ -172,7 +178,7 @@ class P2Node:
                     current = self._pending.popleft()
                     self._dispatch(current)
                 else:
-                    strand = self._dirty_continuous.pop(0)
+                    strand = self._dirty_continuous.popleft()
                     self._dirty_set.discard(id(strand))
                     routes = strand.recompute(self.now(), self.address)
                     self._handle_routes(routes)

@@ -48,6 +48,7 @@ class OverlaySimulation:
         classifier: Optional[Callable[[Tuple], str]] = None,
         batching: bool = True,
         shards: int = 1,
+        fused: bool = True,
     ):
         self.program = parse_program(program) if isinstance(program, str) else program
         if shards < 1:
@@ -70,6 +71,9 @@ class OverlaySimulation:
         #: whether nodes coalesce each drain's outbound tuples into datagram
         #: trains (the default) or send tuple-at-a-time (the escape hatch)
         self.batching = batching
+        #: whether node strands run as fused closures (the default) or
+        #: through the interpreted element walk (the differential oracle)
+        self.fused = fused
         self._rng = random.Random(seed)
         self.nodes: Dict[str, P2Node] = {}
         self._counter = 0
@@ -116,6 +120,7 @@ class OverlaySimulation:
             extra_builtins=extra_builtins,
             batching=self.batching,
             shard=shard,
+            fused=self.fused,
         )
         self.network.register(node)
         self.nodes[address] = node
@@ -182,6 +187,7 @@ def transit_stub_simulation(
     classifier: Optional[Callable[[Tuple], str]] = None,
     batching: bool = True,
     shards: int = 1,
+    fused: bool = True,
 ) -> OverlaySimulation:
     """A simulation configured like the paper's Emulab testbed (Section 5)."""
     return OverlaySimulation(
@@ -193,4 +199,5 @@ def transit_stub_simulation(
         classifier=classifier,
         batching=batching,
         shards=shards,
+        fused=fused,
     )

@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-full check-pythonpath
+.PHONY: test test-fast lint bench bench-full check-pythonpath
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static analysis over the bundled overlays and every example program;
+# --strict makes warnings (dead rules, unread tables, ...) fail the build.
+lint: check-pythonpath
+	$(PYTHON) -m repro.overlog.check --strict \
+	  --overlay chord --overlay narada --overlay gossip --overlay pingpong \
+	  $(wildcard examples/*.olg)
 
 # The quick loop: everything except the multi-second Figure 3/4 experiment
 # sweeps (marked `slow`); stays well under 30 seconds.
@@ -30,7 +37,7 @@ LATEST_BENCH := $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 # The regression gate re-runs the (full-mode, seconds-cheap) micro benches
 # and fails on any >25% slowdown against the newest committed baseline; the
 # multi-second fig3/fig4 rows are gated when producing a full BENCH_PR file.
-bench: check-pythonpath test
+bench: check-pythonpath test lint
 	$(PYTHON) -m benchmarks --quick
 ifneq ($(LATEST_BENCH),)
 	$(PYTHON) -m benchmarks --only micro --compare $(LATEST_BENCH)

@@ -363,6 +363,29 @@ def bench_strand_fire(quick: bool, fused: bool = True):
     return run, (3 if quick else 5)
 
 
+def bench_micro_analyze(quick: bool, fused: bool = True):
+    """Whole-program static analysis of the ~40-rule Chord program.
+
+    This is the pass every ``Planner.compile()`` now runs (cached per shared
+    program object); the row keeps plan-time analysis cheap.  Each iteration
+    re-parses so the per-program cache cannot hide the analysis cost.
+    """
+    from repro.overlays.chord import chord_program
+    from repro.overlog import parse_program
+    from repro.overlog.check import check_program
+
+    source = chord_program()
+    n = 5 if quick else 20
+
+    def run():
+        for _ in range(n):
+            program = parse_program(source)
+            diagnostics = check_program(program)
+            assert not diagnostics
+
+    return run, (3 if quick else 5)
+
+
 def bench_fig4_churn_transport(quick: bool, fused: bool = True):
     """Figure-4 churn on both transport paths: wall-clock plus wire counters.
 
@@ -414,6 +437,7 @@ BENCHES = {
     "micro_event_loop_churn": bench_event_loop,
     "micro_send_batch": bench_micro_send_batch,
     "micro_strand_fire": bench_strand_fire,
+    "micro_analyze": bench_micro_analyze,
     "fig3_static": bench_fig3_static,
     "fig4_churn": bench_fig4_churn,
     "fig4_churn_transport": bench_fig4_churn_transport,

@@ -38,6 +38,21 @@ class PlannerError(P2Error):
     """An OverLog program cannot be compiled to a dataflow."""
 
 
+class OverlogAnalysisError(PlannerError):
+    """Static analysis rejected an OverLog program.
+
+    Carries the full list of :class:`~repro.overlog.diagnostics.Diagnostic`
+    records (all findings, not just the first); the exception message joins
+    their ``file:line:col: severity[OLG0xx]`` renderings, one per line.
+    """
+
+    def __init__(self, diagnostics, filename: str = "<program>"):
+        self.diagnostics = list(diagnostics)
+        self.filename = filename
+        message = "\n".join(d.format(filename) for d in self.diagnostics)
+        super().__init__(message or "overlog analysis failed")
+
+
 class PELError(P2Error):
     """PEL compilation or execution failure."""
 

@@ -16,6 +16,8 @@ from ..runtime.system import OverlaySimulation
 def pingpong_program(*, ping_period: float = 2.0) -> str:
     """Return the ping/pong OverLog source."""
     return f"""
+/* latency is the overlay's output, read by the harness via node.scan:
+   olg:allow(OLG032, latency) */
 materialize(peer,    infinity, infinity, keys(2)).
 materialize(latency, infinity, infinity, keys(2)).
 

@@ -1,9 +1,37 @@
-"""OverLog: the declarative overlay specification language (front end)."""
+"""OverLog: the declarative overlay specification language (front end).
+
+Besides the lexer/parser, this package hosts the whole-program static
+analyzer: :mod:`repro.overlog.check` (``python -m repro.overlog.check`` on
+the command line) and the spanned diagnostic model in
+:mod:`repro.overlog.diagnostics` (the ``OLG0xx`` code table lives in its
+docstring).
+"""
 
 from . import ast
-from .builtins import DEFAULT_BUILTINS, make_builtins
+from .builtins import BUILTIN_SIGNATURES, DEFAULT_BUILTINS, make_builtins
+from .diagnostics import (
+    Diagnostic,
+    DiagnosticCollector,
+    Severity,
+    Span,
+    render_report,
+    summarize,
+)
 from .lexer import Token, TokenStream, tokenize
 from .parser import parse_expression, parse_program
+
+# Imported lazily (PEP 562) so `python -m repro.overlog.check` does not load
+# the module twice (once via this package, once as __main__).
+_CHECK_EXPORTS = {"check_program", "signatures", "PredicateInfo"}
+
+
+def __getattr__(name):
+    if name in _CHECK_EXPORTS:
+        from . import check
+
+        return getattr(check, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ast",
@@ -13,5 +41,15 @@ __all__ = [
     "parse_program",
     "parse_expression",
     "DEFAULT_BUILTINS",
+    "BUILTIN_SIGNATURES",
     "make_builtins",
+    "check_program",
+    "signatures",
+    "PredicateInfo",
+    "Diagnostic",
+    "DiagnosticCollector",
+    "Severity",
+    "Span",
+    "render_report",
+    "summarize",
 ]

@@ -15,12 +15,20 @@ The grammar follows the paper (Section 2.2, 2.3 and Appendices A/B):
 These classes are deliberately plain data holders; all behaviour lives in the
 parser (construction), the planner (compilation), and the PEL compiler
 (expression translation).
+
+Statement-level nodes (:class:`Rule`, :class:`Predicate`, :class:`RuleHead`,
+:class:`Assignment`, :class:`Selection`, :class:`Materialization`,
+:class:`Fact`) carry a source :class:`~repro.overlog.diagnostics.Span` threaded
+from the lexer's line/column tokens, so static-analysis diagnostics and planner
+errors can cite ``file:line:col``.  Spans never participate in equality.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
+
+from .diagnostics import Span
 
 # --------------------------------------------------------------------------
 # Expressions
@@ -184,6 +192,7 @@ class Predicate:
     location: Optional[str]
     args: List[Expression] = field(default_factory=list)
     negated: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def arg_variables(self) -> List[str]:
         out: List[str] = []
@@ -205,6 +214,7 @@ class Assignment:
 
     variable: str
     expression: Expression
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return f"{self.variable} := {self.expression}"
@@ -215,6 +225,7 @@ class Selection:
     """A boolean body term (comparison, range test, or boolean function)."""
 
     expression: Expression
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         return str(self.expression)
@@ -230,6 +241,7 @@ class RuleHead:
     name: str
     location: Optional[str]
     fields: List[HeadField] = field(default_factory=list)
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def aggregate_positions(self) -> List[int]:
@@ -248,6 +260,7 @@ class Rule:
     head: RuleHead
     body: List[BodyTerm]
     delete: bool = False
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def body_predicates(self) -> List[Predicate]:
         return [t for t in self.body if isinstance(t, Predicate)]
@@ -273,6 +286,7 @@ class Fact:
     name: str
     location: Optional[str]
     args: List[Expression] = field(default_factory=list)
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         loc = f"@{self.location}" if self.location else ""
@@ -292,12 +306,28 @@ class Materialization:
     lifetime: float
     max_size: float
     keys: List[int]
+    span: Optional[Span] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         life = "infinity" if self.lifetime == float("inf") else str(self.lifetime)
         size = "infinity" if self.max_size == float("inf") else str(self.max_size)
         keyspec = ", ".join(str(k) for k in self.keys)
         return f"materialize({self.name}, {life}, {size}, keys({keyspec}))."
+
+
+@dataclass(frozen=True)
+class AllowPragma:
+    """An ``olg:allow(CODE[, predicate])`` comment pragma.
+
+    Suppresses diagnostics with the given code program-wide; when ``subject``
+    is given, only diagnostics about that predicate (or built-in) are
+    suppressed.
+    """
+
+    code: str
+    subject: Optional[str] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -307,6 +337,7 @@ class Program:
     materializations: List[Materialization] = field(default_factory=list)
     rules: List[Rule] = field(default_factory=list)
     facts: List[Fact] = field(default_factory=list)
+    pragmas: List[AllowPragma] = field(default_factory=list, compare=False, repr=False)
 
     def materialized_names(self) -> List[str]:
         return [m.name for m in self.materializations]

@@ -144,3 +144,41 @@ def make_builtins(extra: Optional[Dict[str, BuiltinFunction]] = None) -> Dict[st
     if extra:
         registry.update(extra)
     return registry
+
+
+# -- static signatures ---------------------------------------------------------
+#
+# Type signatures for the static analyzer (:mod:`repro.overlog.check`).  Each
+# entry maps a built-in name to ``(arg_types, result_type)`` over the abstract
+# types the type-inference pass unifies:
+#
+# * ``"num"``  — int or float
+# * ``"str"``  — string
+# * ``"bool"`` — boolean
+# * ``"addr"`` — a network address (a string at runtime, but kept distinct so
+#   location specifiers can be checked)
+# * ``"any"``  — unconstrained argument
+# * ``"T"``    — polymorphic: all ``"T"`` positions (and the result, if
+#   ``"T"``) unify with each other
+#
+# The analyzer checks call arity against ``len(arg_types)`` (OLG016) and warns
+# about names absent from this table (OLG015).
+
+BUILTIN_SIGNATURES: Dict[str, tuple] = {
+    "f_now": ((), "num"),
+    "f_rand": ((), "num"),
+    "f_coinFlip": (("num",), "bool"),
+    "f_randInt": (("num", "num"), "num"),
+    "f_sha1": (("any",), "num"),
+    "f_localAddr": ((), "addr"),
+    "f_localId": ((), "num"),
+    "f_wrap": (("num",), "num"),
+    "f_pow2": (("num",), "num"),
+    "f_dist": (("num", "num"), "num"),
+    "f_fingerKey": (("num", "num"), "num"),
+    "f_str": (("any",), "str"),
+    "f_int": (("any",), "num"),
+    "f_float": (("any",), "num"),
+    "f_max": (("T", "T"), "T"),
+    "f_min": (("T", "T"), "T"),
+}

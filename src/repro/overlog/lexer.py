@@ -1,4 +1,11 @@
-"""Tokenizer for OverLog source text."""
+"""Tokenizer for OverLog source text.
+
+Comments are stripped, but ``olg:allow(OLG0xx[, predicate])`` pragmas inside
+them are collected when the caller passes a ``pragmas`` list to
+:func:`tokenize`; the parser attaches them to the resulting
+:class:`~repro.overlog.ast.Program` so the static analyzer
+(:mod:`repro.overlog.check`) can suppress intentional warnings inline.
+"""
 
 from __future__ import annotations
 
@@ -31,6 +38,11 @@ _TOKEN_RE = re.compile(
 )
 
 
+_PRAGMA_RE = re.compile(
+    r"olg:\s*allow\(\s*(OLG\d+)\s*(?:,\s*([A-Za-z_][A-Za-z0-9_]*)\s*)?\)"
+)
+
+
 @dataclass(frozen=True)
 class Token:
     type: str
@@ -42,8 +54,13 @@ class Token:
         return f"Token({self.type}, {self.value!r}, line={self.line})"
 
 
-def tokenize(source: str) -> List[Token]:
-    """Convert OverLog source text into a token list (comments stripped)."""
+def tokenize(source: str, pragmas: Optional[list] = None) -> List[Token]:
+    """Convert OverLog source text into a token list (comments stripped).
+
+    When ``pragmas`` is a list, any ``olg:allow(CODE[, predicate])`` pragma
+    found inside a comment is appended to it as an
+    :class:`~repro.overlog.ast.AllowPragma`.
+    """
     tokens: List[Token] = []
     pos = 0
     line = 1
@@ -58,6 +75,13 @@ def tokenize(source: str) -> List[Token]:
         text = match.group()
         col = pos - line_start + 1
         if kind in ("ws", "comment"):
+            if kind == "comment" and pragmas is not None:
+                for m in _PRAGMA_RE.finditer(text):
+                    from .ast import AllowPragma
+
+                    pragmas.append(
+                        AllowPragma(m.group(1), m.group(2), line, col + m.start())
+                    )
             newlines = text.count("\n")
             if newlines:
                 line += newlines

@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from ..core.errors import ParseError
 from . import ast
+from .diagnostics import Span
 from .lexer import (
     EOF,
     IDENT,
@@ -53,9 +54,14 @@ def parse_expression(source: str) -> ast.Expression:
     return expr
 
 
+def _span(tok: Token) -> Span:
+    return Span(tok.line, tok.column)
+
+
 class _Parser:
     def __init__(self, source: str):
-        self.stream = TokenStream(tokenize(source))
+        self.pragmas: List[ast.AllowPragma] = []
+        self.stream = TokenStream(tokenize(source, self.pragmas))
 
     # -- program structure ------------------------------------------------------
     def parse(self) -> ast.Program:
@@ -66,10 +72,11 @@ class _Parser:
                 program.materializations.append(self._parse_materialize())
             else:
                 self._parse_statement(program)
+        program.pragmas = list(self.pragmas)
         return program
 
     def _parse_materialize(self) -> ast.Materialization:
-        self.stream.expect(IDENT, "materialize")
+        start = self.stream.expect(IDENT, "materialize")
         self.stream.expect(PUNCT, "(")
         name = self.stream.expect(IDENT).value
         self.stream.expect(PUNCT, ",")
@@ -85,7 +92,7 @@ class _Parser:
         self.stream.expect(PUNCT, ")")
         self.stream.expect(PUNCT, ")")
         self.stream.expect(PUNCT, ".")
-        return ast.Materialization(name, lifetime, max_size, keys)
+        return ast.Materialization(name, lifetime, max_size, keys, span=_span(start))
 
     def _parse_limit(self) -> float:
         tok = self.stream.peek()
@@ -105,6 +112,7 @@ class _Parser:
         """A rule or a fact, optionally prefixed with a rule identifier."""
         rule_id = None
         tok = self.stream.peek()
+        start_span = _span(tok)
         nxt = self.stream.peek(1)
         # `R1 refreshEvent(...)`: the first identifier is a rule id when the
         # following token is another name rather than '(' or '@'.
@@ -121,19 +129,36 @@ class _Parser:
             self.stream.expect(PUNCT, ".")
             head = self._predicate_to_head(head_pred)
             program.rules.append(
-                ast.Rule(rule_id or f"r{len(program.rules) + 1}", head, body, delete=delete)
+                ast.Rule(
+                    rule_id or f"r{len(program.rules) + 1}",
+                    head,
+                    body,
+                    delete=delete,
+                    span=start_span,
+                )
             )
         else:
             self.stream.expect(PUNCT, ".")
             if delete:
-                raise ParseError("a fact cannot be a delete statement")
+                raise ParseError(
+                    "a fact cannot be a delete statement",
+                    start_span.line,
+                    start_span.column,
+                )
             fact_pred = head_pred.to_predicate()
             program.facts.append(
-                ast.Fact(fact_pred.name, fact_pred.location, list(fact_pred.args))
+                ast.Fact(
+                    fact_pred.name,
+                    fact_pred.location,
+                    list(fact_pred.args),
+                    span=start_span,
+                )
             )
 
     def _predicate_to_head(self, pred: "_ParsedPredicate") -> ast.RuleHead:
-        return ast.RuleHead(pred.name, pred.location, list(pred.head_fields))
+        return ast.RuleHead(
+            pred.name, pred.location, list(pred.head_fields), span=pred.span
+        )
 
     # -- predicates -------------------------------------------------------------
     def _parse_predicate(self, allow_negation: bool = True) -> "_ParsedPredicate":
@@ -168,7 +193,7 @@ class _Parser:
             while self.stream.accept(PUNCT, ","):
                 fields.append(self._parse_head_field())
             self.stream.expect(PUNCT, ")")
-        return _ParsedPredicate(name, location, fields, negated)
+        return _ParsedPredicate(name, location, fields, negated, span=_span(name_tok))
 
     def _parse_head_field(self) -> ast.HeadField:
         tok = self.stream.peek()
@@ -210,8 +235,8 @@ class _Parser:
             var = self.stream.next().value
             self.stream.next()  # :=
             expr = self._parse_expression()
-            return ast.Assignment(var, expr)
-        return ast.Selection(self._parse_expression())
+            return ast.Assignment(var, expr, span=_span(tok))
+        return ast.Selection(self._parse_expression(), span=_span(tok))
 
     # -- expressions ---------------------------------------------------------------
     def _parse_expression(self) -> ast.Expression:
@@ -378,18 +403,25 @@ class _Parser:
 class _ParsedPredicate:
     """Intermediate holder; head fields may include aggregates, body args may not."""
 
-    def __init__(self, name, location, fields, negated):
+    def __init__(self, name, location, fields, negated, span=None):
         self.name = name
         self.location = location
         self.head_fields = fields
         self.negated = negated
+        self.span = span
 
     def to_predicate(self) -> ast.Predicate:
         args: List[ast.Expression] = []
         for f in self.head_fields:
             if isinstance(f, ast.Aggregate):
+                line = self.span.line if self.span else 0
+                column = self.span.column if self.span else 0
                 raise ParseError(
-                    f"aggregate {f} may only appear in a rule head, not in {self.name}"
+                    f"aggregate {f} may only appear in a rule head, not in {self.name}",
+                    line,
+                    column,
                 )
             args.append(f)
-        return ast.Predicate(self.name, self.location, args, self.negated)
+        return ast.Predicate(
+            self.name, self.location, args, self.negated, span=self.span
+        )

@@ -1,6 +1,12 @@
 """Planner: compiles OverLog programs into executable dataflow graphs."""
 
-from .analyzer import RuleAnalysis, RuleKind, analyze_program, analyze_rule
+from .analyzer import (
+    RuleAnalysis,
+    RuleKind,
+    analyze_program,
+    analyze_rule,
+    analyze_rule_into,
+)
 from .planner import CompiledDataflow, Planner
 from .strand import ContinuousAggregateStrand, HeadRoute, PeriodicSpec, RuleStrand, StrandResult
 from .strand_compiler import fuse_continuous, fuse_dataflow, fuse_strand
@@ -19,5 +25,6 @@ __all__ = [
     "RuleAnalysis",
     "RuleKind",
     "analyze_rule",
+    "analyze_rule_into",
     "analyze_program",
 ]

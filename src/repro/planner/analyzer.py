@@ -1,4 +1,4 @@
-"""Static analysis of OverLog rules prior to planning.
+"""Per-rule static analysis of OverLog rules prior to planning.
 
 The analyzer answers, for every rule:
 
@@ -13,6 +13,15 @@ The analyzer answers, for every rule:
   aggregate, or malformed;
 * is the rule *safe*: every head variable is bound by a positive body
   predicate or an assignment.
+
+Findings are emitted as spanned :class:`~repro.overlog.diagnostics.Diagnostic`
+records (codes ``OLG001``–``OLG007``, see :mod:`repro.overlog.diagnostics`)
+through :func:`analyze_rule_into`, so the whole-program pass in
+:mod:`repro.overlog.check` can report every broken rule at once.  The
+original fail-raising API, :func:`analyze_rule`, is a thin wrapper that
+raises :class:`~repro.core.errors.OverlogAnalysisError` (a
+:class:`~repro.core.errors.PlannerError`) carrying all of the rule's
+diagnostics.
 """
 
 from __future__ import annotations
@@ -21,8 +30,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
-from ..core.errors import PlannerError
+from ..core.errors import OverlogAnalysisError
 from ..overlog import ast
+from ..overlog.diagnostics import DiagnosticCollector
 
 
 class RuleKind(enum.Enum):
@@ -41,14 +51,47 @@ class RuleAnalysis:
 
 
 def analyze_rule(rule: ast.Rule, program: ast.Program) -> RuleAnalysis:
-    """Validate *rule* and classify how it must be executed."""
+    """Validate *rule* and classify how it must be executed.
+
+    Raises :class:`OverlogAnalysisError` (carrying every diagnostic for this
+    rule, with spans) when the rule is malformed.
+    """
+    sink = DiagnosticCollector()
+    analysis = analyze_rule_into(rule, program, sink)
+    if sink.errors:
+        raise OverlogAnalysisError(sink.sorted())
+    assert analysis is not None
+    return analysis
+
+
+def analyze_program(program: ast.Program) -> List[RuleAnalysis]:
+    return [analyze_rule(rule, program) for rule in program.rules]
+
+
+def analyze_rule_into(
+    rule: ast.Rule, program: ast.Program, sink: DiagnosticCollector
+) -> Optional[RuleAnalysis]:
+    """Emit *rule*'s per-rule diagnostics into *sink*.
+
+    Returns the :class:`RuleAnalysis` when the rule is classifiable, ``None``
+    when errors prevent classification (no positive predicate, or a
+    stream-stream join).  Errors that do not block classification (safety,
+    negation, localization) are emitted but still yield an analysis, so the
+    whole-program pass can keep going.
+    """
     positives = rule.positive_predicates()
     if not positives:
-        raise PlannerError(f"rule {rule.rule_id}: needs at least one positive body predicate")
+        sink.error(
+            "OLG001",
+            f"rule {rule.rule_id}: needs at least one positive body predicate",
+            rule.span,
+            subject=rule.head.name,
+        )
+        return None
 
-    location = _check_localized(rule)
-    _check_safety(rule)
-    _check_negation(rule, program)
+    location = _check_localized(rule, sink)
+    _check_safety(rule, sink)
+    _check_negation(rule, program, sink)
 
     has_aggregate = bool(rule.head.aggregate_positions)
     candidates = _event_candidates(rule, program)
@@ -57,20 +100,20 @@ def analyze_rule(rule: ast.Rule, program: ast.Program) -> RuleAnalysis:
     if stream_preds:
         if not candidates:
             names = ", ".join(p.name for p in stream_preds)
-            raise PlannerError(
+            sink.error(
+                "OLG007",
                 f"rule {rule.rule_id}: cannot join streams against streams ({names}); "
-                "only one non-materialized predicate is allowed per rule"
+                "only one non-materialized predicate is allowed per rule",
+                stream_preds[0].span or rule.span,
+                subject=stream_preds[0].name,
             )
+            return None
         return RuleAnalysis(rule, RuleKind.EVENT, candidates, location)
 
     # tables-only body
     if has_aggregate:
         return RuleAnalysis(rule, RuleKind.CONTINUOUS_AGGREGATE, candidates, location)
     return RuleAnalysis(rule, RuleKind.TABLE_DELTA, candidates, location)
-
-
-def analyze_program(program: ast.Program) -> List[RuleAnalysis]:
-    return [analyze_rule(rule, program) for rule in program.rules]
 
 
 # -- helpers -----------------------------------------------------------------------
@@ -95,16 +138,19 @@ def _event_candidates(rule: ast.Rule, program: ast.Program) -> List[ast.Predicat
     return candidates
 
 
-def _check_localized(rule: ast.Rule) -> Optional[str]:
+def _check_localized(rule: ast.Rule, sink: DiagnosticCollector) -> Optional[str]:
     locations: Set[str] = set()
     for pred in rule.body_predicates():
         if pred.location is not None:
             locations.add(pred.location)
     if len(locations) > 1:
-        raise PlannerError(
+        sink.error(
+            "OLG002",
             f"rule {rule.rule_id}: body terms live at different nodes {sorted(locations)}; "
             "multi-node rule bodies are not supported (rewrite with an explicit "
-            "message stream, as the paper's appendix programs do)"
+            "message stream, as the paper's appendix programs do)",
+            rule.span,
+            subject=rule.head.name,
         )
     return next(iter(locations), None)
 
@@ -131,7 +177,7 @@ def _bound_variables(rule: ast.Rule) -> Set[str]:
     return bound
 
 
-def _check_safety(rule: ast.Rule) -> None:
+def _check_safety(rule: ast.Rule, sink: DiagnosticCollector) -> None:
     bound = _bound_variables(rule)
     unbound: List[str] = []
     for f in rule.head.fields:
@@ -143,32 +189,46 @@ def _check_safety(rule: ast.Rule) -> None:
     if rule.head.location and rule.head.location not in bound:
         unbound.append(rule.head.location)
     if unbound:
-        raise PlannerError(
+        sink.error(
+            "OLG003",
             f"rule {rule.rule_id}: head variables {sorted(set(unbound))} are not bound "
-            "by the body (unsafe rule)"
+            "by the body (unsafe rule)",
+            rule.head.span or rule.span,
+            subject=rule.head.name,
         )
     for sel in rule.selections():
         for v in sel.expression.variables():
             if v not in bound:
-                raise PlannerError(
-                    f"rule {rule.rule_id}: selection uses unbound variable {v!r}"
+                sink.error(
+                    "OLG004",
+                    f"rule {rule.rule_id}: selection uses unbound variable {v!r}",
+                    sel.span or rule.span,
+                    subject=rule.head.name,
                 )
 
 
-def _check_negation(rule: ast.Rule, program: ast.Program) -> None:
+def _check_negation(
+    rule: ast.Rule, program: ast.Program, sink: DiagnosticCollector
+) -> None:
     bound = _bound_variables(rule)
     for pred in rule.body_predicates():
         if not pred.negated:
             continue
         if not program.is_materialized(pred.name):
-            raise PlannerError(
+            sink.error(
+                "OLG005",
                 f"rule {rule.rule_id}: negated predicate {pred.name!r} must be a "
-                "materialized table"
+                "materialized table",
+                pred.span or rule.span,
+                subject=pred.name,
             )
         for arg in pred.args:
             for v in arg.variables():
                 if v not in bound:
-                    raise PlannerError(
+                    sink.error(
+                        "OLG006",
                         f"rule {rule.rule_id}: negated predicate {pred.name!r} uses "
-                        f"variable {v!r} not bound elsewhere (unsafe negation)"
+                        f"variable {v!r} not bound elsewhere (unsafe negation)",
+                        pred.span or rule.span,
+                        subject=pred.name,
                     )

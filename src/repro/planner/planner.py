@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
 
-from ..core.errors import PlannerError
+from ..core.errors import OverlogAnalysisError, PlannerError
 from ..core.tuples import Tuple
 from ..dataflow.element import Element, Graph
 from ..dataflow.flow import TransmitBuffer
@@ -78,7 +78,15 @@ class CompiledDataflow:
 
 
 class Planner:
-    """Compiles one OverLog program for one hosting node."""
+    """Compiles one OverLog program for one hosting node.
+
+    Before planning, the whole-program static analyzer
+    (:func:`repro.overlog.check.check_program`) runs over the program; any
+    error diagnostic raises :class:`~repro.core.errors.OverlogAnalysisError`
+    with the full spanned report.  ``strict=True`` promotes warnings (dead
+    rules, unread tables, ...) to fatal as well.  Results are cached on the
+    shared program object, so a many-node simulation analyzes once.
+    """
 
     def __init__(
         self,
@@ -87,6 +95,7 @@ class Planner:
         tables: TableStore,
         *,
         fused: bool = True,
+        strict: bool = False,
     ):
         if isinstance(program, str):
             program = parse_program(program)
@@ -96,9 +105,17 @@ class Planner:
         #: compile each strand into a fused closure (the default); False
         #: keeps the interpreted element walk — the differential oracle
         self.fused = fused
+        #: treat analyzer warnings as fatal
+        self.strict = strict
 
     # -- public API ---------------------------------------------------------------
     def compile(self) -> CompiledDataflow:
+        from ..overlog.check import check_program
+
+        diagnostics = check_program(self.program)
+        fatal = [d for d in diagnostics if d.is_error or self.strict]
+        if fatal:
+            raise OverlogAnalysisError(fatal)
         compiled = CompiledDataflow(self.program)
         compiled.transmit = TransmitBuffer(name="transmit")
         compiled.graph.add(compiled.transmit)

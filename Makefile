@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast lint bench bench-full check-pythonpath
+.PHONY: test test-fast test-faults lint bench bench-full check-pythonpath
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The fault-injection and monitor suite on its own (includes the slow
+# partition/heal acceptance runs even when iterating with test-fast).
+test-faults:
+	$(PYTHON) -m pytest -x -q tests/test_faults.py
 
 # Static analysis over the bundled overlays and every example program;
 # --strict makes warnings (dead rules, unread tables, ...) fail the build.
@@ -37,7 +42,7 @@ LATEST_BENCH := $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 # The regression gate re-runs the (full-mode, seconds-cheap) micro benches
 # and fails on any >25% slowdown against the newest committed baseline; the
 # multi-second fig3/fig4 rows are gated when producing a full BENCH_PR file.
-bench: check-pythonpath test lint
+bench: check-pythonpath test-faults test lint
 	$(PYTHON) -m benchmarks --quick
 ifneq ($(LATEST_BENCH),)
 	$(PYTHON) -m benchmarks --only micro --compare $(LATEST_BENCH)

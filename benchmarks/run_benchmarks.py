@@ -429,6 +429,40 @@ def bench_fig4_churn_transport(quick: bool, fused: bool = True):
     return run, (1 if quick else 2)
 
 
+def bench_fig_partition_heal(quick: bool, fused: bool = True):
+    """The partition/heal robustness experiment: split, degrade, reconverge.
+
+    Wall-clock tracks what the fault-injection layer (link conditioner on
+    every datagram, in-run monitors on the control loop) costs on a heavily
+    conditioned run; the extras persist the recovery metrics themselves so
+    the trajectory file also records that the scenario kept reconverging.
+    """
+    from repro.experiments import run_partition_experiment
+
+    population = 8 if quick else 12
+
+    def run():
+        result = run_partition_experiment(
+            population,
+            seed=7,
+            stabilization_time=40.0 if quick else 60.0,
+            pre_window=20.0 if quick else 40.0,
+            partition_duration=30.0 if quick else 40.0,
+            recovery_window=90.0 if quick else 120.0,
+            monitor_period=5.0,
+            fused=fused,
+        )
+        assert result.recovered
+        return {
+            "recovered": result.recovered,
+            "reconvergence_s": result.reconvergence_time,
+            "ring_split_alarms": result.ring_split_alarms,
+            "lookups_failed": result.lookups_failed,
+        }
+
+    return run, (1 if quick else 2)
+
+
 BENCHES = {
     "micro_table_ops_10k": bench_table_ops,
     "micro_table_expiry_churn": bench_table_expiry_churn,
@@ -443,6 +477,7 @@ BENCHES = {
     "fig4_churn_transport": bench_fig4_churn_transport,
     "fig3_static_sharded": bench_fig3_static_sharded,
     "fig4_churn_sharded": bench_fig4_churn_sharded,
+    "fig_partition_heal": bench_fig_partition_heal,
 }
 
 #: Benches whose workload actually honours ``--interpreted`` (they thread
@@ -456,6 +491,7 @@ FUSED_SENSITIVE = {
     "fig4_churn_transport",
     "fig3_static_sharded",
     "fig4_churn_sharded",
+    "fig_partition_heal",
 }
 
 #: --compare fails on a shared bench slower than baseline by more than this.

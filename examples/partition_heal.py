@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Split a stabilised Chord ring in two, heal it, and watch it reconverge.
+
+This is the fault-injection subsystem end to end: a data-driven
+:class:`~repro.sim.faults.FaultSchedule` partitions the ring into two
+contiguous identifier arcs and heals it later; a reachability-aware
+:class:`~repro.sim.monitors.RingInvariantMonitor` probes the successor
+pointers throughout (the split is invisible to a global-knowledge check —
+the arc-tail nodes keep *stale* best-successor pointers across the
+boundary); and the run reports time-to-reconvergence.
+
+Run:  python examples/partition_heal.py [--nodes 10] [--partition-seconds 40]
+"""
+
+import argparse
+
+from repro.experiments import run_partition_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nodes", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--partition-seconds", type=float, default=40.0)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="event-loop shards; any value gives the same run")
+    args = parser.parse_args()
+
+    print(f"Booting {args.nodes} nodes, stabilising, then splitting the ring "
+          f"for {args.partition_seconds:.0f} simulated seconds ...")
+    result = run_partition_experiment(
+        args.nodes,
+        seed=args.seed,
+        partition_duration=args.partition_seconds,
+        shards=args.shards,
+    )
+
+    print(f"partition at t={result.partition_at:.0f}s, "
+          f"heal at t={result.heal_at:.0f}s, run ends t={result.end_at:.0f}s")
+    print("ring-consistency curve (reachability-aware):")
+    ring_by_time = dict(result.ring_curve)
+    for t, cf in result.consistency_curve:
+        phase = ("pre" if t < result.partition_at
+                 else "SPLIT" if t < result.heal_at else "post")
+        ring = "one ring" if ring_by_time.get(t) else "BROKEN"
+        print(f"  t={t:6.0f}s  {phase:5s}  consistent={cf * 100:5.1f}%  {ring}")
+
+    print(f"ring-split alarms while degraded: {result.ring_split_alarms}")
+    print(f"lookups: {result.lookups_issued} issued, "
+          f"{result.lookups_completed} completed, "
+          f"{result.lookups_failed} abandoned by the timeout sweep")
+    if result.recovered:
+        print(f"reconverged {result.reconvergence_time:.0f}s after heal "
+              f"(consistency back at the pre-partition level "
+              f"{result.pre_partition_consistency * 100:.0f}% on one full ring)")
+    else:
+        print("did NOT reconverge within the recovery window")
+
+
+if __name__ == "__main__":
+    main()

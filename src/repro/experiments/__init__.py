@@ -1,6 +1,7 @@
 """End-to-end experiment drivers used by the benchmark harness and examples."""
 
 from .chord_churn import ChurnChordResult, run_churn_experiment
+from .chord_partition import PartitionChordResult, run_partition_experiment
 from .chord_static import StaticChordResult, run_static_experiment
 
 __all__ = [
@@ -8,4 +9,6 @@ __all__ = [
     "run_static_experiment",
     "ChurnChordResult",
     "run_churn_experiment",
+    "PartitionChordResult",
+    "run_partition_experiment",
 ]

@@ -13,13 +13,14 @@ join), keeps a lookup workload running, and reports:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple as PyTuple
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from ..analysis import cdf, summarize
 from ..net.topology import TransitStubTopology
 from ..overlays import chord
 from ..sim.churn import ChurnProcess
 from ..sim.metrics import BandwidthMeter, ConsistencyOracle, LookupTracker
+from ..sim.monitors import RobustnessReport
 from ..sim.workload import LookupWorkload
 
 
@@ -39,6 +40,12 @@ class ChurnChordResult:
     #: wire units (= delivery events) they traveled in — equal when unbatched
     messages_sent: int = 0
     datagrams_sent: int = 0
+    #: lookups the timeout sweep abandoned (0 without ``lookup_timeout``)
+    lookups_failed: int = 0
+    #: departures that were crashes rather than graceful failures
+    crash_events: int = 0
+    #: monitor samples and alarms (None when the run had no monitors)
+    robustness: Optional[RobustnessReport] = None
 
     def latency_cdf(self, points: int = 20) -> List[PyTuple[float, float]]:
         return cdf(self.lookup_latencies, points=points)
@@ -72,13 +79,21 @@ def run_churn_experiment(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    crash: bool = False,
+    faults=None,
+    monitors: Sequence = (),
+    monitor_period: float = 10.0,
+    lookup_timeout: Optional[float] = None,
 ) -> ChurnChordResult:
     """Boot, stabilise, then churn for *churn_duration* while issuing lookups.
 
     ``shards >= 2`` runs the population on that many event loops under
     conservative lookahead; ``fused=False`` interprets the rule strands
     instead of running their compiled closures.  Results are identical
-    either way.
+    either way.  ``crash=True`` turns departures into crashes (soft state
+    wiped, no leave processing) — the harsher regime the paper's robustness
+    claim is about; ``faults``/``monitors``/``lookup_timeout`` work as in
+    :func:`~repro.experiments.chord_static.run_static_experiment`.
     """
     topology = TransitStubTopology(domains=domains, seed=seed)
     network = chord.build_chord_network(
@@ -91,13 +106,24 @@ def run_churn_experiment(
         batching=batching,
         shards=shards,
         fused=fused,
+        faults=faults,
+        monitors=monitors,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)
     sim.run_for(population * join_stagger + stabilization_time)
 
-    oracle = ConsistencyOracle(network.idspace, network.alive_ids)
-    tracker = LookupTracker(sim.loop, sim.network, oracle)
+    runner = sim.monitor_runner
+    if runner.monitors:
+        runner.start(monitor_period)
+
+    controller = sim.fault_controller
+    oracle = ConsistencyOracle(
+        network.idspace,
+        network.alive_ids,
+        reachable=controller.conditioner.reachable if controller is not None else None,
+    )
+    tracker = LookupTracker(sim.loop, sim.network, oracle, timeout=lookup_timeout)
     for node in network.nodes:
         tracker.attach(node)
 
@@ -113,6 +139,8 @@ def run_churn_experiment(
         fail_member=network.fail_member,
         add_member=add_member,
         seed=seed + 7,
+        crash=crash,
+        crash_member=network.crash_member if crash else None,
     )
     meter = BandwidthMeter(
         sim.loop,
@@ -133,6 +161,10 @@ def run_churn_experiment(
     workload.stop()
     meter.stop()
     sim.run_for(drain_time)
+    tracker.stop_sweep()
+    tracker.expire_stale(sim.now)
+    if runner.monitors:
+        runner.stop()
 
     return ChurnChordResult(
         population=population,
@@ -145,4 +177,7 @@ def run_churn_experiment(
         lookups_issued=workload.issued,
         messages_sent=sim.network.messages_sent,
         datagrams_sent=sim.network.datagrams_sent,
+        lookups_failed=len(tracker.failures()),
+        crash_events=churn.stats.crashes,
+        robustness=runner.report() if runner.monitors else None,
     )

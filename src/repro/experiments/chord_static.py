@@ -15,12 +15,13 @@ driving a uniform lookup workload.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple as PyTuple
+from typing import Dict, List, Optional, Sequence, Tuple as PyTuple
 
 from ..analysis import cdf, histogram, summarize
 from ..net.topology import TransitStubTopology
 from ..overlays import chord
 from ..sim.metrics import BandwidthMeter, ConsistencyOracle, LookupTracker
+from ..sim.monitors import RobustnessReport
 from ..sim.workload import LookupWorkload
 
 
@@ -40,6 +41,10 @@ class StaticChordResult:
     #: wire units (= delivery events) they traveled in — equal when unbatched
     messages_sent: int = 0
     datagrams_sent: int = 0
+    #: lookups the timeout sweep abandoned (0 without ``lookup_timeout``)
+    lookups_failed: int = 0
+    #: monitor samples and alarms (None when the run had no monitors)
+    robustness: Optional[RobustnessReport] = None
 
     def hop_histogram(self, max_hops: int = 16) -> Dict[float, float]:
         return histogram(self.hop_counts, bins=range(max_hops + 1))
@@ -79,13 +84,20 @@ def run_static_experiment(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    faults=None,
+    monitors: Sequence = (),
+    monitor_period: float = 10.0,
+    lookup_timeout: Optional[float] = None,
 ) -> StaticChordResult:
     """Boot, stabilise, measure idle bandwidth, then drive lookups.
 
     ``shards >= 2`` runs the population on that many event loops under
     conservative lookahead; ``fused=False`` interprets the rule strands
     instead of running their compiled closures.  Results are identical
-    either way.
+    either way.  ``faults`` arms a fault schedule, ``monitors`` installs
+    periodic invariant probes (instances or network-taking factories), and
+    ``lookup_timeout`` makes abandoned lookups count as failed — all off by
+    default, leaving the fault-free figures untouched.
     """
     topology = TransitStubTopology(domains=domains, seed=seed)
     network = chord.build_chord_network(
@@ -98,12 +110,18 @@ def run_static_experiment(
         batching=batching,
         shards=shards,
         fused=fused,
+        faults=faults,
+        monitors=monitors,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)
 
     # Phase 1: joins + stabilisation.
     sim.run_for(population * join_stagger + stabilization_time)
+
+    runner = sim.monitor_runner
+    if runner.monitors:
+        runner.start(monitor_period)
 
     # Phase 2: idle maintenance-bandwidth measurement (no lookups in flight).
     meter = BandwidthMeter(
@@ -118,8 +136,13 @@ def run_static_experiment(
     meter.stop()
 
     # Phase 3: uniform lookup workload.
-    oracle = ConsistencyOracle(network.idspace, network.alive_ids)
-    tracker = LookupTracker(sim.loop, sim.network, oracle)
+    controller = sim.fault_controller
+    oracle = ConsistencyOracle(
+        network.idspace,
+        network.alive_ids,
+        reachable=controller.conditioner.reachable if controller is not None else None,
+    )
+    tracker = LookupTracker(sim.loop, sim.network, oracle, timeout=lookup_timeout)
     for node in network.nodes:
         tracker.attach(node)
     workload = LookupWorkload(
@@ -129,6 +152,10 @@ def run_static_experiment(
     sim.run_for(lookup_count / lookup_rate)
     workload.stop()
     sim.run_for(drain_time)
+    tracker.stop_sweep()
+    tracker.expire_stale(sim.now)
+    if runner.monitors:
+        runner.stop()
 
     return StaticChordResult(
         population=population,
@@ -141,4 +168,6 @@ def run_static_experiment(
         lookups_issued=workload.issued,
         messages_sent=sim.network.messages_sent,
         datagrams_sent=sim.network.datagrams_sent,
+        lookups_failed=len(tracker.failures()),
+        robustness=runner.report() if runner.monitors else None,
     )

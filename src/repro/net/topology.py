@@ -50,6 +50,14 @@ class Topology:
 
         This is the conservative lookahead window of the sharded driver: no
         cross-shard message can arrive sooner than this after being sent.
+
+        Contract with fault injection: the link conditioner
+        (:class:`~repro.sim.faults.LinkConditioner`) may *multiply* a
+        topology latency by its spike factor, which is validated to be
+        ≥ 1.0 precisely so both latency floors — and therefore the lookahead
+        window computed from this method before the run started — remain
+        valid while faults are active.  Any future conditioning that could
+        scale latencies *down* must instead be folded into these bounds.
         """
         return self.min_latency()
 

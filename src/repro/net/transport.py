@@ -23,9 +23,22 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Protocol, Tuple as PyTuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Tuple as PyTuple,
+)
 
 from ..core.errors import NetworkError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance (sim imports net)
+    from ..sim.faults import LinkConditioner
 from ..core.tuples import Tuple
 from ..sim.event_loop import EventLoop
 from .topology import Topology, UniformTopology
@@ -180,6 +193,11 @@ class Network:
         # which the sharded driver preserves, so loss patterns are identical
         # however the simulation is partitioned across event loops.
         self._loss_rngs: Dict[str, random.Random] = {}
+        # Optional fault-injection hook (see sim/faults.py): when installed,
+        # every datagram consults it for reachability (partitions), burst
+        # loss, and a latency factor.  None — the default — is the exact
+        # pre-fault data path: no extra draws, no extra branches taken.
+        self.conditioner: Optional["LinkConditioner"] = None
         self._nodes: Dict[str, Endpoint] = {}
         self._indices: Dict[str, int] = {}
         self._alive: Dict[str, bool] = {}
@@ -256,6 +274,10 @@ class Network:
     def set_classifier(self, classifier: Classifier) -> None:
         self.classifier = classifier
 
+    def set_conditioner(self, conditioner: Optional["LinkConditioner"]) -> None:
+        """Install (or clear) the fault-injection link conditioner."""
+        self.conditioner = conditioner
+
     # -- data path --------------------------------------------------------------------
     def _clock(self, src: str) -> EventLoop:
         """The loop whose clock reads the current simulated time for *src*.
@@ -274,6 +296,19 @@ class Network:
         if rng is None:
             rng = self._loss_rngs[src] = random.Random(f"{self.seed}:{src}")
         return rng.random() < self.loss_rate
+
+    def _datagram_lost(self, src: str, dst: str) -> bool:
+        """One loss decision per datagram that passed the reachability check.
+
+        The uniform per-source draw and any burst-loss chains *all* advance
+        on every call — never short-circuited — so each stream's position
+        depends only on how many datagrams the link carried, which the
+        sharded driver preserves exactly.
+        """
+        lost = self._lost(src)
+        if self.conditioner is not None:
+            lost = self.conditioner.datagram_lost(src, dst) or lost
+        return lost
 
     def _schedule_delivery(
         self,
@@ -324,10 +359,20 @@ class Network:
         if dst not in self._indices:
             self.messages_dropped += 1
             return False
-        if self._lost(src):
+        cond = self.conditioner
+        if cond is not None and not cond.reachable(src, dst):
+            # Partition drop, decided *before* any loss draw: partition state
+            # must never shift the per-source loss streams, or an identical
+            # schedule-free run would diverge from its faulted prefix.
+            cond.unreachable_drops += 1
+            self.messages_dropped += 1
+            return False
+        if self._datagram_lost(src, dst):
             self.messages_dropped += 1
             return False
         delay = self.topology.latency(self._indices[src], self._indices[dst])
+        if cond is not None:
+            delay *= cond.latency_factor
         self._schedule_delivery(
             src, src_loop, dst, now, delay,
             lambda: self._deliver(dst, tup, size, category),
@@ -358,11 +403,17 @@ class Network:
         src_loop = self._clock(src)
         now = src_loop.now
         known = dst in self._indices
+        cond = self.conditioner
+        # Partition state only changes inside control events, never mid-send,
+        # so one reachability check covers the whole train.
+        reachable = known and (cond is None or cond.reachable(src, dst))
         delay = (
             self.topology.latency(self._indices[src], self._indices[dst])
             if known
             else 0.0
         )
+        if cond is not None:
+            delay *= cond.latency_factor
         hooks = self._send_hooks
         sent = 0
         for datagram in pack_datagrams(batch, self.classifier, self.mtu):
@@ -377,7 +428,11 @@ class Network:
             if not known:
                 self.messages_dropped += count
                 continue
-            if self._lost(src):
+            if not reachable:
+                cond.unreachable_drops += 1
+                self.messages_dropped += count
+                continue
+            if self._datagram_lost(src, dst):
                 self.messages_dropped += count
                 continue
             self._schedule_delivery(

@@ -21,13 +21,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..core.idspace import IdSpace
 from ..core.tuples import Tuple, fresh_tuple_id
 from ..net.topology import Topology
 from ..runtime.node import P2Node
 from ..runtime.system import OverlaySimulation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.faults import FaultController
 
 #: Relations whose traffic counts as lookup (non-maintenance) traffic in the
 #: bandwidth accounting of Figures 3(ii) and 4(i).
@@ -221,6 +224,51 @@ class ChordNetwork:
     def fail_member(self, address: str) -> None:
         self.simulation.fail_node(address)
 
+    def crash_member(self, address: str) -> None:
+        """Hard-kill a member: soft state wiped, in-flight work dropped."""
+        self.simulation.crash_node(address)
+
+    def restart_member(self, address: str) -> None:
+        """Power-cycle a crashed member and re-join it through the landmark.
+
+        A restarted Chord node has empty tables; the protocol has no rule
+        that re-discovers a ring from nothing, so — like a real deployment —
+        the node re-enters through a landmark join.
+        """
+        node = self.simulation.node(address)
+        node.restart()
+        node.route(Tuple.make("node", node.address, node.node_id))
+        self.rejoin_member(address)
+
+    def rejoin_member(self, address: str) -> None:
+        """Send a live member back through the landmark join path.
+
+        Used after a partition heals: successor entries for the far side
+        expired during the split and no Chord rule bridges two disjoint
+        stabilised rings (fingers outlive the partition but never feed the
+        successor tables), so re-merging requires a join — the operational
+        recovery any real Chord deployment performs.
+        """
+        node = self.simulation.node(address)
+        node.route(Tuple.make("landmark", node.address, self._landmark_for(node)))
+        node.inject(Tuple.make("join", node.address, fresh_tuple_id()))
+
+    def _landmark_for(self, node: P2Node) -> str:
+        if node.address != self.landmark:
+            return self.landmark
+        for other in self.nodes:  # the landmark itself re-enters via any live peer
+            if other.alive and other.address != node.address:
+                return other.address
+        return NULL_ADDRESS
+
+    def install_faults(self, schedule) -> "FaultController":
+        """Arm a fault schedule with Chord-aware crash/restart behaviour."""
+        return self.simulation.install_faults(
+            schedule,
+            crash_member=self.crash_member,
+            restart_member=self.restart_member,
+        )
+
     def issue_lookup(self, node: P2Node, key: int, event_id: Optional[int] = None) -> int:
         """Inject a lookup at *node*; returns the event id used."""
         event_id = event_id if event_id is not None else fresh_tuple_id()
@@ -273,6 +321,8 @@ def build_chord_network(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    faults=None,
+    monitors: Sequence = (),
 ) -> ChordNetwork:
     """Create a Chord overlay of *num_nodes* nodes (not yet stabilised).
 
@@ -280,6 +330,12 @@ def build_chord_network(
     first node (the landmark), mirroring the static-membership setup of the
     paper's feasibility experiments.  Run the simulation for a stabilisation
     period afterwards (``sim.run_for(...)``) before measuring.
+
+    ``faults`` is a :class:`~repro.sim.faults.FaultSchedule` armed with
+    Chord-aware crash/restart hooks; ``monitors`` is a sequence of monitor
+    *instances* or single-argument factories called with the finished
+    :class:`ChordNetwork` (so e.g. ``RingInvariantMonitor`` can be passed as
+    a class).  Start them with ``network.simulation.monitor_runner.start()``.
     """
     kwargs = dict(program_kwargs or {})
     kwargs.setdefault("bits", bits)
@@ -298,6 +354,14 @@ def build_chord_network(
     network = ChordNetwork(simulation=simulation, landmark="")
     for i in range(num_nodes):
         network.add_member(join_delay=i * join_stagger)
+    if faults is not None:
+        network.install_faults(faults)
+    for monitor in monitors:
+        # an *instance* has a bound observe and is not a class; anything else
+        # (a class like RingInvariantMonitor, a lambda) is a factory
+        if isinstance(monitor, type) or not hasattr(monitor, "observe"):
+            monitor = monitor(network)
+        simulation.monitor_runner.add(monitor)
     return network
 
 

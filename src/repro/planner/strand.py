@@ -197,6 +197,15 @@ class ContinuousAggregateStrand:
         #: True once the strand compiler has installed a fused ``recompute``
         self.fused = False
 
+    def reset(self) -> None:
+        """Forget the change-suppression cache (node crash/restart).
+
+        Mutates ``_last_emitted`` in place: the fused ``recompute`` closure
+        captured the dict object itself, so rebinding would silently leave
+        the fused path suppressing re-emission of pre-crash values.
+        """
+        self._last_emitted.clear()
+
     def recompute(self, now: float, local_address: Any) -> List[HeadRoute]:
         """Re-derive the aggregate and return routes for changed groups.
 

@@ -111,6 +111,45 @@ class P2Node:
             self.transmit.clear()
         self.network.set_alive(self.address, False)
 
+    def crash(self) -> None:
+        """Hard-kill the node: :meth:`fail` plus soft-state loss.
+
+        A crash differs from a graceful failure observed from outside only in
+        what the node would see *if* it came back: tables are wiped in place
+        (no delete listeners — the process is gone, nothing observes the
+        loss), queued-but-unprocessed tuples are dropped, and the continuous
+        aggregates' change-suppression caches are reset so a restart
+        re-derives and re-emits from genuinely empty state.
+        """
+        self.fail()
+        self._pending.clear()
+        self.tables.clear_all()
+        for strand in self.compiled.continuous:
+            strand.reset()
+        self._dirty_continuous.clear()
+        self._dirty_set.clear()
+
+    def restart(self) -> None:
+        """Power the node back up after :meth:`crash`/:meth:`fail`.
+
+        The node object is reused rather than rebuilt: fused strand closures
+        bind its table objects and aggregate caches by reference, and the
+        network keeps its topology index — so the reset happens *in place*,
+        then :meth:`boot` reinstalls start-of-day facts and periodic timers.
+        External subscriptions (e.g. lookup trackers) survive the restart,
+        as they would for a monitored process that was power-cycled.
+        """
+        if self.alive:
+            raise P2Error(f"node {self.address}: restart of a live node")
+        self._pending.clear()
+        self.tables.clear_all()
+        for strand in self.compiled.continuous:
+            strand.reset()
+        self._dirty_continuous.clear()
+        self._dirty_set.clear()
+        self.network.set_alive(self.address, True)
+        self.boot()
+
     def now(self) -> float:
         return self.loop.now
 

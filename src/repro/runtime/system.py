@@ -19,6 +19,8 @@ from ..net.topology import Topology, TransitStubTopology, UniformTopology
 from ..net.transport import Network
 from ..overlog import ast, parse_program
 from ..sim.event_loop import EventLoop
+from ..sim.faults import FaultController, FaultSchedule
+from ..sim.monitors import Monitor, MonitorRunner
 from ..sim.shards import ShardedEventLoop, lookahead_for
 from .node import P2Node
 
@@ -49,6 +51,8 @@ class OverlaySimulation:
         batching: bool = True,
         shards: int = 1,
         fused: bool = True,
+        faults: Optional[FaultSchedule] = None,
+        monitors: Sequence[Monitor] = (),
     ):
         self.program = parse_program(program) if isinstance(program, str) else program
         if shards < 1:
@@ -77,6 +81,15 @@ class OverlaySimulation:
         self._rng = random.Random(seed)
         self.nodes: Dict[str, P2Node] = {}
         self._counter = 0
+        #: fault injection (sim/faults.py): schedules execute as control-loop
+        #: events, so they are lookahead barriers under the sharded driver
+        self.fault_controller: Optional[FaultController] = None
+        #: periodic invariant probes (sim/monitors.py), also control-loop
+        self.monitor_runner = MonitorRunner(self.loop)
+        for monitor in monitors:
+            self.monitor_runner.add(monitor)
+        if faults is not None:
+            self.install_faults(faults)
 
     # -- node management ------------------------------------------------------------
     def fresh_address(self) -> str:
@@ -133,6 +146,38 @@ class OverlaySimulation:
         node = self.node(address)
         node.fail()
 
+    def crash_node(self, address: str) -> None:
+        """Hard-kill a node: stop it *and* wipe its soft state in place."""
+        self.node(address).crash()
+
+    def restart_node(self, address: str) -> None:
+        """Power a crashed node back up with empty tables (fresh boot)."""
+        self.node(address).restart()
+
+    # -- fault injection -------------------------------------------------------------
+    def install_faults(
+        self,
+        schedule: FaultSchedule,
+        *,
+        crash_member: Optional[Callable[[str], None]] = None,
+        restart_member: Optional[Callable[[str], None]] = None,
+    ) -> FaultController:
+        """Arm a fault schedule against this simulation (at most one per run).
+
+        ``crash_member``/``restart_member`` default to the generic node
+        crash/restart; overlay harnesses override them to add protocol-level
+        behaviour (e.g. Chord re-join through the landmark after a restart).
+        """
+        if self.fault_controller is not None:
+            raise SimulationError("a fault schedule is already installed")
+        self.fault_controller = FaultController(
+            self,
+            schedule,
+            crash_member=crash_member,
+            restart_member=restart_member,
+        )
+        return self.fault_controller
+
     def remove_node(self, address: str) -> None:
         self.fail_node(address)
         self.nodes.pop(address, None)
@@ -188,6 +233,8 @@ def transit_stub_simulation(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    faults: Optional[FaultSchedule] = None,
+    monitors: Sequence[Monitor] = (),
 ) -> OverlaySimulation:
     """A simulation configured like the paper's Emulab testbed (Section 5)."""
     return OverlaySimulation(
@@ -200,4 +247,6 @@ def transit_stub_simulation(
         batching=batching,
         shards=shards,
         fused=fused,
+        faults=faults,
+        monitors=monitors,
     )

@@ -24,18 +24,40 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance (net imports sim)
 
 
 class ConsistencyOracle:
-    """Knows every alive node's identifier; answers "who owns key K right now"."""
+    """Knows every alive node's identifier; answers "who owns key K right now".
 
-    def __init__(self, idspace: IdSpace, alive_ids: Callable[[], Dict[str, int]]):
+    When a ``reachable`` predicate is given (the fault-injection link
+    conditioner's partition view), the oracle becomes *partition-aware*: the
+    correct owner from a lookup origin's point of view is the key's successor
+    among the nodes that origin can actually reach.  A lookup answered across
+    a partition boundary then counts as inconsistent — the answering node may
+    be alive globally, but no correct protocol run from that origin could
+    have reached it — instead of consistent-by-stale-global-knowledge.
+    """
+
+    def __init__(
+        self,
+        idspace: IdSpace,
+        alive_ids: Callable[[], Dict[str, int]],
+        reachable: Optional[Callable[[str, str], bool]] = None,
+    ):
         self._idspace = idspace
         self._alive_ids = alive_ids
+        self._reachable = reachable
 
-    def owner_id(self, key: int) -> Optional[int]:
-        ids = list(self._alive_ids().values())
+    def _members(self, origin: Optional[str]) -> Dict[str, int]:
+        members = self._alive_ids()
+        if self._reachable is None or origin is None:
+            return members
+        reachable = self._reachable
+        return {a: i for a, i in members.items() if reachable(origin, a)}
+
+    def owner_id(self, key: int, origin: Optional[str] = None) -> Optional[int]:
+        ids = list(self._members(origin).values())
         return self._idspace.successor_of(key, ids)
 
-    def owner_address(self, key: int) -> Optional[str]:
-        members = self._alive_ids()
+    def owner_address(self, key: int, origin: Optional[str] = None) -> Optional[str]:
+        members = self._members(origin)
         if not members:
             return None
         best = None
@@ -60,10 +82,21 @@ class LookupRecord:
     result_address: Optional[str] = None
     hops: int = 0
     oracle_id: Optional[int] = None
+    failed_at: Optional[float] = None
 
     @property
     def completed(self) -> bool:
         return self.completed_at is not None
+
+    @property
+    def failed(self) -> bool:
+        """True once the timeout sweep abandoned this lookup."""
+        return self.failed_at is not None
+
+    @property
+    def resolved(self) -> bool:
+        """Completed or abandoned — no longer in flight."""
+        return self.completed_at is not None or self.failed_at is not None
 
     @property
     def latency(self) -> Optional[float]:
@@ -84,12 +117,32 @@ class LookupTracker:
     forwarding of an event id is one hop); completion and consistency are
     recorded when the matching ``lookupResults`` tuple reaches its requester,
     with the oracle consulted *at completion time* (the live membership then).
+
+    With a ``timeout``, a periodic sweep on the tracker's loop (the control
+    loop under the sharded driver, so it is barrier-aligned and deterministic)
+    marks lookups older than the timeout as *failed*.  Without it, a lookup
+    abandoned mid-run — its target crashed, its path partitioned away —
+    dangles forever and ``completion_rate`` is silently optimistic about
+    whatever was still in flight when the run ended.
     """
 
-    def __init__(self, loop: EventLoop, network: "Network", oracle: ConsistencyOracle):
+    def __init__(
+        self,
+        loop: EventLoop,
+        network: "Network",
+        oracle: ConsistencyOracle,
+        timeout: Optional[float] = None,
+    ):
+        if timeout is not None and timeout <= 0:
+            raise ValueError("lookup timeout must be positive")
         self._loop = loop
         self._oracle = oracle
+        self.timeout = timeout
         self.records: Dict[Any, LookupRecord] = {}
+        self.late_completions = 0
+        self._sweeping = False
+        self._sweep_period: Optional[float] = None
+        self._next_sweep: Optional[EventHandle] = None
         network.add_send_hook(self._on_send)
 
     # -- issuing -------------------------------------------------------------------
@@ -111,12 +164,59 @@ class LookupTracker:
             "lookupResults", lambda tup, _loop=loop: self._on_results(tup, _loop.now)
         )
 
+    # -- timeout sweep ---------------------------------------------------------------
+    def start_sweep(self, period: Optional[float] = None) -> None:
+        """Begin the periodic timeout sweep; idempotent while running.
+
+        The sweep period defaults to the timeout itself, which bounds how
+        stale a "failed" verdict can be at one timeout; a finer period
+        sharpens ``failed_at`` timestamps at the cost of more control events.
+        """
+        if self.timeout is None:
+            raise ValueError("start_sweep() needs a tracker constructed with a timeout")
+        if self._sweeping:
+            return
+        self._sweeping = True
+        self._sweep_period = period if period is not None else self.timeout
+        self._next_sweep = self._loop.schedule(self._sweep_period, self._sweep)
+
+    def stop_sweep(self) -> None:
+        """Stop sweeping and cancel the pending sweep event (see BandwidthMeter.stop)."""
+        self._sweeping = False
+        if self._next_sweep is not None:
+            self._next_sweep.cancel()
+            self._next_sweep = None
+
+    def _sweep(self) -> None:
+        self._next_sweep = None
+        if not self._sweeping:
+            return
+        self.expire_stale(self._loop.now)
+        if self._sweeping:
+            self._next_sweep = self._loop.schedule(self._sweep_period, self._sweep)
+
+    def expire_stale(self, now: float) -> int:
+        """Mark every in-flight lookup older than the timeout as failed.
+
+        Also callable once at end of run to resolve whatever a finished
+        experiment abandoned.  Returns how many records were failed.
+        """
+        if self.timeout is None:
+            return 0
+        cutoff = now - self.timeout
+        expired = 0
+        for record in self.records.values():
+            if not record.resolved and record.issued_at <= cutoff:
+                record.failed_at = now
+                expired += 1
+        return expired
+
     # -- observation hooks ------------------------------------------------------------
     def _on_send(self, src: str, dst: str, tup: Tuple, now: float) -> None:
         if tup.name != "lookup" or len(tup.fields) < 4:
             return
         record = self.records.get(tup.fields[3])
-        if record is not None and not record.completed:
+        if record is not None and not record.resolved:
             record.hops += 1
 
     def _on_results(self, tup: Tuple, now: Optional[float] = None) -> None:
@@ -124,16 +224,32 @@ class LookupTracker:
         if len(tup.fields) < 5:
             return
         record = self.records.get(tup.fields[4])
-        if record is None or record.completed:
+        if record is None or record.resolved:
+            if record is not None and record.failed:
+                # the answer arrived after the sweep gave up on it; the
+                # verdict stands (a client would have stopped waiting too)
+                self.late_completions += 1
             return
         record.completed_at = self._loop.now if now is None else now
         record.result_id = tup.fields[2]
         record.result_address = tup.fields[3]
-        record.oracle_id = self._oracle.owner_id(record.key)
+        record.oracle_id = self._oracle.owner_id(record.key, record.origin)
 
     # -- summaries ---------------------------------------------------------------------
     def completed(self) -> List[LookupRecord]:
         return [r for r in self.records.values() if r.completed]
+
+    def failures(self) -> List[LookupRecord]:
+        return [r for r in self.records.values() if r.failed]
+
+    def failure_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return len(self.failures()) / len(self.records)
+
+    def pending(self) -> int:
+        """Lookups still in flight (neither completed nor timed out)."""
+        return sum(1 for r in self.records.values() if not r.resolved)
 
     def completion_rate(self) -> float:
         if not self.records:

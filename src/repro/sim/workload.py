@@ -44,10 +44,18 @@ class LookupWorkload:
         self.issued = 0
 
     def start(self) -> None:
-        """Begin issuing lookups; idempotent while already running."""
+        """Begin issuing lookups; idempotent while already running.
+
+        A tracker constructed with a timeout gets its sweep started here
+        too: a workload whose clients give up after the timeout is the
+        natural pairing, and it keeps ``completion_rate`` honest about
+        lookups abandoned under partitions or crashes.
+        """
         if self._running:
             return
         self._running = True
+        if self._tracker.timeout is not None:
+            self._tracker.start_sweep()
         self._next = self._loop.schedule(
             self._rng.uniform(0, self._interval), self._tick
         )

@@ -255,6 +255,22 @@ class Table:
                     fn(tup)
         return expired
 
+    def clear(self) -> int:
+        """Drop every row without firing any listener (power-cycle semantics).
+
+        Used by node crash/restart: a crashed process loses its soft state
+        silently — no delete rules, no continuous-aggregate recomputation —
+        which is exactly what distinguishes a crash from a graceful leave.
+        Indices are emptied in place and the expiry bound reset; returns the
+        number of rows dropped.
+        """
+        dropped = len(self._rows)
+        self._rows.clear()
+        for index in self._indices.values():
+            index._buckets.clear()
+        self._next_expiry = INFINITY
+        return dropped
+
     # -- queries -----------------------------------------------------------------
     def lookup(self, positions: Sequence[int], key: Sequence[Any], now: float) -> List[Tuple]:
         """All live tuples whose fields at *positions* equal *key*.
@@ -383,6 +399,10 @@ class TableStore:
 
     def __iter__(self) -> Iterator[Table]:
         return iter(self._tables.values())
+
+    def clear_all(self) -> int:
+        """Silently empty every table (see :meth:`Table.clear`); returns rows dropped."""
+        return sum(table.clear() for table in self._tables.values())
 
     def total_rows(self) -> int:
         return sum(len(t) for t in self._tables.values())

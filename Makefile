@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-faults lint bench bench-full check-pythonpath
+.PHONY: test test-fast test-faults test-planner lint bench bench-full check-pythonpath
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,6 +10,12 @@ test:
 # partition/heal acceptance runs even when iterating with test-fast).
 test-faults:
 	$(PYTHON) -m pytest -x -q tests/test_faults.py
+
+# The cost-based planner suite on its own: the optimize×fused differential
+# grid, plan unit tests, golden plan snapshots, and the slow full-run
+# bit-identity acceptance (chord static + churn, optimized vs naive).
+test-planner:
+	$(PYTHON) -m pytest -x -q tests/test_planner_opt.py tests/test_golden_plans.py
 
 # Static analysis over the bundled overlays and every example program;
 # --strict makes warnings (dead rules, unread tables, ...) fail the build.
@@ -42,7 +48,7 @@ LATEST_BENCH := $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 # The regression gate re-runs the (full-mode, seconds-cheap) micro benches
 # and fails on any >25% slowdown against the newest committed baseline; the
 # multi-second fig3/fig4 rows are gated when producing a full BENCH_PR file.
-bench: check-pythonpath test-faults test lint
+bench: check-pythonpath test-faults test-planner test lint
 	$(PYTHON) -m benchmarks --quick
 ifneq ($(LATEST_BENCH),)
 	$(PYTHON) -m benchmarks --only micro --compare $(LATEST_BENCH)

@@ -22,9 +22,11 @@ Usage::
 
 ``--quick`` shrinks operation counts and populations so the whole sweep
 finishes in well under a minute; full mode matches the committed baselines.
-Every row records which mode produced it (``"quick": true/false``, and since
+Every row records which mode produced it (``"quick": true/false``; since
 PR 5 ``"fused": true/false`` — whether strands ran as compiled closures or
-through the interpreted element walk, toggled with ``--interpreted``) so that
+through the interpreted element walk, toggled with ``--interpreted``; since
+PR 8 ``"optimized": true/false`` — whether the cost-based planner ordered the
+joins, toggled with ``--no-optimized``) so that
 ``--compare`` only ever compares like with like: it checks each freshly-run
 bench against the same-named, same-mode row of the given baseline file and
 exits non-zero when any regresses by more than 25% — the regression gate
@@ -85,7 +87,7 @@ def _timed(fn, rounds: int) -> dict:
 
 
 # --------------------------------------------------------------------------- micro
-def bench_table_ops(quick: bool, fused: bool = True):
+def bench_table_ops(quick: bool, fused: bool = True, optimize: bool = True):
     """Insert/lookup throughput on a 10k-row soft-state table.
 
     The table has a finite lifetime, so every operation goes through the
@@ -116,7 +118,7 @@ def bench_table_ops(quick: bool, fused: bool = True):
     return run, (2 if quick else 5)
 
 
-def bench_table_expiry_churn(quick: bool, fused: bool = True):
+def bench_table_expiry_churn(quick: bool, fused: bool = True, optimize: bool = True):
     """Continuous expiry under insert churn (steady-state soft state).
 
     Tuples live 1s and inserts advance time 1ms per op, so the table holds
@@ -142,7 +144,7 @@ def bench_table_expiry_churn(quick: bool, fused: bool = True):
     return run, (2 if quick else 5)
 
 
-def bench_pel_arith(quick: bool, fused: bool = True):
+def bench_pel_arith(quick: bool, fused: bool = True, optimize: bool = True):
     """Execute the compiled ``(X + 1) * 2 < Y`` program (one run per tuple)."""
     from repro.overlog import parse_expression
     from repro.overlog.builtins import make_builtins
@@ -160,7 +162,7 @@ def bench_pel_arith(quick: bool, fused: bool = True):
     return run, (3 if quick else 5)
 
 
-def bench_pel_ring_interval(quick: bool, fused: bool = True):
+def bench_pel_ring_interval(quick: bool, fused: bool = True, optimize: bool = True):
     """The ``K in (N, S]`` interval test at the heart of Chord's lookup rules."""
     from repro.overlog import parse_expression
     from repro.overlog.builtins import make_builtins
@@ -180,7 +182,7 @@ def bench_pel_ring_interval(quick: bool, fused: bool = True):
     return run, (3 if quick else 5)
 
 
-def bench_event_loop(quick: bool, fused: bool = True):
+def bench_event_loop(quick: bool, fused: bool = True, optimize: bool = True):
     """Schedule/cancel/drain churn with interleaved pending() bookkeeping."""
     from repro.sim import EventLoop
 
@@ -201,7 +203,7 @@ def bench_event_loop(quick: bool, fused: bool = True):
 
 
 # --------------------------------------------------------------------- experiments
-def _fig3_bench(quick: bool, shards: int, fused: bool = True):
+def _fig3_bench(quick: bool, shards: int, fused: bool = True, optimize: bool = True):
     """One Figure 3 workload, shared by the unsharded and sharded rows so
     their parameters cannot drift apart (the rows are only meaningful as a
     directly-comparable pair)."""
@@ -220,6 +222,7 @@ def _fig3_bench(quick: bool, shards: int, fused: bool = True):
             drain_time=30.0,
             shards=shards,
             fused=fused,
+            optimize=optimize,
         )
         assert result.lookups_issued > 0
         return {"shards": shards} if shards > 1 else None
@@ -227,7 +230,7 @@ def _fig3_bench(quick: bool, shards: int, fused: bool = True):
     return run, (1 if quick else 2)
 
 
-def _fig4_bench(quick: bool, shards: int, fused: bool = True):
+def _fig4_bench(quick: bool, shards: int, fused: bool = True, optimize: bool = True):
     """One Figure 4 churn workload, shared like :func:`_fig3_bench`."""
     from repro.experiments import run_churn_experiment
 
@@ -245,6 +248,7 @@ def _fig4_bench(quick: bool, shards: int, fused: bool = True):
             program_kwargs=dict(MAINTENANCE_KWARGS),
             shards=shards,
             fused=fused,
+            optimize=optimize,
         )
         assert result.lookups_issued > 0
         return {"shards": shards} if shards > 1 else None
@@ -252,17 +256,17 @@ def _fig4_bench(quick: bool, shards: int, fused: bool = True):
     return run, (1 if quick else 2)
 
 
-def bench_fig3_static(quick: bool, fused: bool = True):
+def bench_fig3_static(quick: bool, fused: bool = True, optimize: bool = True):
     """The Figure 3 static-membership Chord experiment (scaled population)."""
-    return _fig3_bench(quick, shards=1, fused=fused)
+    return _fig3_bench(quick, shards=1, fused=fused, optimize=optimize)
 
 
-def bench_fig4_churn(quick: bool, fused: bool = True):
+def bench_fig4_churn(quick: bool, fused: bool = True, optimize: bool = True):
     """The Figure 4 churn experiment (scaled population and session time)."""
-    return _fig4_bench(quick, shards=1, fused=fused)
+    return _fig4_bench(quick, shards=1, fused=fused, optimize=optimize)
 
 
-def bench_fig3_static_sharded(quick: bool, fused: bool = True):
+def bench_fig3_static_sharded(quick: bool, fused: bool = True, optimize: bool = True):
     """Figure 3 on the sharded driver (shards=2), same workload as
     ``fig3_static`` so the two rows are directly comparable wall-clock.
 
@@ -270,16 +274,16 @@ def bench_fig3_static_sharded(quick: bool, fused: bool = True):
     suite enforces that); this row tracks what the conservative-lookahead
     machinery costs — or, on a multi-core backend, saves.
     """
-    return _fig3_bench(quick, shards=2, fused=fused)
+    return _fig3_bench(quick, shards=2, fused=fused, optimize=optimize)
 
 
-def bench_fig4_churn_sharded(quick: bool, fused: bool = True):
+def bench_fig4_churn_sharded(quick: bool, fused: bool = True, optimize: bool = True):
     """Figure 4 churn on the sharded driver (shards=2), same workload as
     ``fig4_churn`` for a direct wall-clock comparison."""
-    return _fig4_bench(quick, shards=2, fused=fused)
+    return _fig4_bench(quick, shards=2, fused=fused, optimize=optimize)
 
 
-def bench_micro_send_batch(quick: bool, fused: bool = True):
+def bench_micro_send_batch(quick: bool, fused: bool = True, optimize: bool = True):
     """Raw transport throughput: one datagram train vs. tuple-at-a-time."""
     from repro.core import Tuple
     from repro.net import Network, UniformTopology
@@ -309,7 +313,7 @@ def bench_micro_send_batch(quick: bool, fused: bool = True):
     return run, (2 if quick else 5)
 
 
-def bench_strand_fire(quick: bool, fused: bool = True):
+def bench_strand_fire(quick: bool, fused: bool = True, optimize: bool = True):
     """Fused vs. interpreted strand firing on a hot Chord-like rule shape.
 
     Builds one node whose program contains a select → join → assign →
@@ -363,7 +367,74 @@ def bench_strand_fire(quick: bool, fused: bool = True):
     return run, (3 if quick else 5)
 
 
-def bench_micro_analyze(quick: bool, fused: bool = True):
+def bench_micro_join_order(quick: bool, fused: bool = True, optimize: bool = True):
+    """Cost-based join ordering on the wide-vs-link rule shape.
+
+    The rule joins a large `wide` table and a small, better-bound `link`
+    table; the naive walk (body order) probes `wide` first on the address
+    field alone, materializing one intermediate per wide row, while the
+    cost-based plan probes `link` first on two bound fields and touches
+    `wide` only for surviving rows.  Both strands fire the same event on
+    identical tables — the extras persist both timings and their ratio,
+    the headline number join reordering is about.
+    """
+    import time as _time
+
+    from repro.core import Tuple
+    from repro.net import Network, UniformTopology
+    from repro.runtime.node import P2Node
+    from repro.sim import EventLoop
+
+    source = """
+        materialize(wide, infinity, 4096, keys(2, 3)).
+        materialize(link, infinity, 64, keys(2, 3)).
+        J1 out@NI(NI, A, B, C) :- trig@NI(NI, A), wide@NI(NI, B, C), link@NI(NI, A, B).
+    """
+    wide_rows = 128 if quick else 512
+    link_rows = 8
+
+    def build(optimize_flag):
+        loop = EventLoop()
+        net = Network(loop, UniformTopology(latency=0.01))
+        node = P2Node("n1", source, net, loop, seed=1, optimize=optimize_flag)
+        net.register(node)
+        wide = node.tables.get("wide")
+        for i in range(wide_rows):
+            wide.insert(Tuple.make("wide", "n1", i, i * 2), 0.0)
+        link = node.tables.get("link")
+        for i in range(link_rows):
+            link.insert(Tuple.make("link", "n1", 7, i), 0.0)
+        return node.compiled.strands_by_event["trig"][0]
+
+    optimized = build(True)
+    naive = build(False)
+    event = Tuple.make("trig", "n1", 7)
+    n = 50 if quick else 200
+    perf_counter = _time.perf_counter
+
+    def run():
+        process = optimized.process
+        t0 = perf_counter()
+        for _ in range(n):
+            process(event, "n1")
+        optimized_s = perf_counter() - t0
+        process = naive.process
+        t0 = perf_counter()
+        for _ in range(n):
+            process(event, "n1")
+        naive_s = perf_counter() - t0
+        # plan equivalence: both orders derive the same number of tuples
+        assert optimized.produced == naive.produced
+        return {
+            "optimized_s": round(optimized_s, 6),
+            "naive_s": round(naive_s, 6),
+            "optimize_speedup": round(naive_s / optimized_s, 2),
+        }
+
+    return run, (3 if quick else 5)
+
+
+def bench_micro_analyze(quick: bool, fused: bool = True, optimize: bool = True):
     """Whole-program static analysis of the ~40-rule Chord program.
 
     This is the pass every ``Planner.compile()`` now runs (cached per shared
@@ -386,7 +457,7 @@ def bench_micro_analyze(quick: bool, fused: bool = True):
     return run, (3 if quick else 5)
 
 
-def bench_fig4_churn_transport(quick: bool, fused: bool = True):
+def bench_fig4_churn_transport(quick: bool, fused: bool = True, optimize: bool = True):
     """Figure-4 churn on both transport paths: wall-clock plus wire counters.
 
     Persists, next to the timing, the number of send events (scheduled
@@ -404,6 +475,7 @@ def bench_fig4_churn_transport(quick: bool, fused: bool = True):
         drain_time=20.0,
         program_kwargs=dict(MAINTENANCE_KWARGS),
         fused=fused,
+        optimize=optimize,
     )
     sim_seconds = population * 1.0 + 120.0 + 120.0 + 20.0
 
@@ -429,7 +501,7 @@ def bench_fig4_churn_transport(quick: bool, fused: bool = True):
     return run, (1 if quick else 2)
 
 
-def bench_fig_partition_heal(quick: bool, fused: bool = True):
+def bench_fig_partition_heal(quick: bool, fused: bool = True, optimize: bool = True):
     """The partition/heal robustness experiment: split, degrade, reconverge.
 
     Wall-clock tracks what the fault-injection layer (link conditioner on
@@ -451,6 +523,7 @@ def bench_fig_partition_heal(quick: bool, fused: bool = True):
             recovery_window=90.0 if quick else 120.0,
             monitor_period=5.0,
             fused=fused,
+            optimize=optimize,
         )
         assert result.recovered
         return {
@@ -471,6 +544,7 @@ BENCHES = {
     "micro_event_loop_churn": bench_event_loop,
     "micro_send_batch": bench_micro_send_batch,
     "micro_strand_fire": bench_strand_fire,
+    "micro_join_order": bench_micro_join_order,
     "micro_analyze": bench_micro_analyze,
     "fig3_static": bench_fig3_static,
     "fig4_churn": bench_fig4_churn,
@@ -486,6 +560,19 @@ BENCHES = {
 #: (``micro_strand_fire`` always measures both paths), so marking them
 #: interpreted would only make the ``make bench`` regression gate vacuous.
 FUSED_SENSITIVE = {
+    "fig3_static",
+    "fig4_churn",
+    "fig4_churn_transport",
+    "fig3_static_sharded",
+    "fig4_churn_sharded",
+    "fig_partition_heal",
+}
+
+#: Benches whose workload honours ``--no-optimized`` (they thread ``optimize``
+#: into the experiments) — the same experiment set as ``FUSED_SENSITIVE``.
+#: ``micro_join_order`` always measures both planner modes itself, so it is
+#: deliberately not listed (mirroring ``micro_strand_fire``).
+OPTIMIZE_SENSITIVE = {
     "fig3_static",
     "fig4_churn",
     "fig4_churn_transport",
@@ -526,6 +613,12 @@ def compare_against_baseline(results: dict, baseline_path: str) -> int:
         # path and count as fused — the default-mode trajectory is one line.
         if bool(row.get("fused", True)) != bool(base.get("fused", True)):
             print(f"  {name}: skipped (fused/interpreted mode mismatch with baseline)")
+            continue
+        # Same rule for the planner knob: rows predating the flag were
+        # produced before the optimizer existed and sit on the default
+        # (optimized) trajectory, so a missing flag counts as True.
+        if bool(row.get("optimized", True)) != bool(base.get("optimized", True)):
+            print(f"  {name}: skipped (optimized/naive mode mismatch with baseline)")
             continue
         compared += 1
         # Gate on the fastest round when both sides recorded it (robust to
@@ -576,6 +669,14 @@ def main(argv=None) -> int:
         "them against fused baselines",
     )
     parser.add_argument(
+        "--optimized",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="run the experiment benchmarks with the cost-based planner "
+        "(--no-optimized uses naive body-order placement); rows are marked "
+        "so --compare never diffs across the knob",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="profile each selected benchmark with cProfile and print the "
@@ -608,7 +709,7 @@ def main(argv=None) -> int:
     for name, factory in BENCHES.items():
         if args.only and args.only not in name:
             continue
-        fn, rounds = factory(args.quick, not args.interpreted)
+        fn, rounds = factory(args.quick, not args.interpreted, args.optimized)
         print(f"[bench] {name} ({rounds} round{'s' if rounds != 1 else ''}) ...", flush=True)
         if args.profile:
             import cProfile
@@ -623,6 +724,9 @@ def main(argv=None) -> int:
             results[name] = _timed(fn, rounds)
         results[name]["quick"] = args.quick
         results[name]["fused"] = not (args.interpreted and name in FUSED_SENSITIVE)
+        results[name]["optimized"] = not (
+            not args.optimized and name in OPTIMIZE_SENSITIVE
+        )
         print(f"[bench] {name}: mean {results[name]['mean_s']:.6f}s", flush=True)
 
     width = max(len(n) for n in results) if results else 0

@@ -3,19 +3,27 @@
 ``pip install -e .`` is still the recommended route; this keeps the test and
 benchmark suites runnable in environments where an editable install is not
 possible (e.g. offline machines without the ``wheel`` package).
+
+Marker registration lives in ``pytest.ini`` (one shared place), not here.
 """
 
 import os
 import sys
 
-_SRC = os.path.join(os.path.dirname(__file__), "src")
+_ROOT = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(_ROOT, "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+# the shared test support package (tests/support/) imports as `tests.support`
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
 
 
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "slow: multi-second Figure 3/4 experiment sweeps "
-        "(deselect with -m 'not slow' or via `make test-fast`)",
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden plan snapshots under tests/golden/ "
+        "instead of comparing against them",
     )

@@ -79,6 +79,7 @@ def run_churn_experiment(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    optimize: bool = True,
     crash: bool = False,
     faults=None,
     monitors: Sequence = (),
@@ -106,6 +107,7 @@ def run_churn_experiment(
         batching=batching,
         shards=shards,
         fused=fused,
+        optimize=optimize,
         faults=faults,
         monitors=monitors,
     )

@@ -135,6 +135,7 @@ def run_partition_experiment(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    optimize: bool = True,
 ) -> PartitionChordResult:
     """Boot and stabilise a ring, split it in two, heal, measure reconvergence.
 
@@ -167,6 +168,7 @@ def run_partition_experiment(
         batching=batching,
         shards=shards,
         fused=fused,
+        optimize=optimize,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)

@@ -84,6 +84,7 @@ def run_static_experiment(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    optimize: bool = True,
     faults=None,
     monitors: Sequence = (),
     monitor_period: float = 10.0,
@@ -110,6 +111,7 @@ def run_static_experiment(
         batching=batching,
         shards=shards,
         fused=fused,
+        optimize=optimize,
         faults=faults,
         monitors=monitors,
     )

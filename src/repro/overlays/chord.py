@@ -321,6 +321,7 @@ def build_chord_network(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    optimize: bool = True,
     faults=None,
     monitors: Sequence = (),
 ) -> ChordNetwork:
@@ -350,6 +351,7 @@ def build_chord_network(
             batching=batching,
             shards=shards,
             fused=fused,
+            optimize=optimize,
         )
     network = ChordNetwork(simulation=simulation, landmark="")
     for i in range(num_nodes):

@@ -116,6 +116,11 @@ class PredicateInfo:
     arity: Optional[int] = None
     materialized: bool = False
     keys: Optional[List[int]] = None
+    #: cardinality hint from ``materialize(..., lifetime, max_size, ...)``;
+    #: ``float("inf")`` for unbounded tables, None for non-materialized streams
+    max_size: Optional[float] = None
+    #: row lifetime in seconds (``float("inf")`` = never expires)
+    lifetime: Optional[float] = None
     #: rule ids whose head derives this predicate (facts appear as "<fact>")
     produced_by: List[str] = field(default_factory=list)
     #: rule ids whose body reads this predicate
@@ -763,6 +768,8 @@ class ProgramChecker:
             rec = info(mat.name)
             rec.materialized = True
             rec.keys = list(mat.keys)
+            rec.max_size = float(mat.max_size)
+            rec.lifetime = float(mat.lifetime)
         for fact in program.facts:
             info(fact.name).produced_by.append("<fact>")
         for rule in program.rules:

@@ -7,6 +7,15 @@ from .analyzer import (
     analyze_rule,
     analyze_rule_into,
 )
+from .optimizer import (
+    JoinChoice,
+    PlannedTerm,
+    ProgramPlan,
+    RulePlan,
+    join_choice,
+    optimize_program,
+    plan_strand,
+)
 from .planner import CompiledDataflow, Planner
 from .strand import ContinuousAggregateStrand, HeadRoute, PeriodicSpec, RuleStrand, StrandResult
 from .strand_compiler import fuse_continuous, fuse_dataflow, fuse_strand
@@ -22,6 +31,13 @@ __all__ = [
     "PeriodicSpec",
     "HeadRoute",
     "StrandResult",
+    "ProgramPlan",
+    "RulePlan",
+    "PlannedTerm",
+    "JoinChoice",
+    "join_choice",
+    "optimize_program",
+    "plan_strand",
     "RuleAnalysis",
     "RuleKind",
     "analyze_rule",

@@ -1,0 +1,407 @@
+"""Cost-based plan optimization: join ordering, index selection, guard hoisting.
+
+This pass sits between whole-program analysis (:func:`repro.overlog.check.
+check_program`) and strand construction (:class:`repro.planner.planner.
+Planner`).  For every (rule, triggering predicate) pair it produces a
+:class:`RulePlan`: the complete placement order for the rule's body terms,
+decided by the greedy cost model below instead of the naive
+first-body-order-join-that-shares-a-variable walk the planner used before.
+
+The cost model — the CHR compilation playbook (Sneyers et al.) restricted to
+what our signatures can estimate — scores each candidate join by
+
+1. **estimated matches**: a probe that covers the table's declared primary
+   key returns at most one row; otherwise ``max(1, max_size / 2**|probe|)``
+   with :data:`DEFAULT_CARDINALITY` standing in for unbounded tables,
+2. **bound fraction** (connectivity): how many of the predicate's fields are
+   already bound, as a fraction of its arity,
+3. **declared max_size**, and finally
+4. **body position** — ties always resolve to source order, which keeps the
+   optimizer *stable*: a rule whose costs don't discriminate compiles to the
+   very same strand the naive planner built.
+
+Selections and assignments are hoisted to the earliest point where their
+variables are bound (the naive planner already did this greedily; the plan
+records which ones moved ahead of a later join).  Anti-joins become eligible
+as soon as their variables are bound *and* at least one positive join has
+been placed — never earlier, because the ``count<*> == 0`` fallback
+semantics snapshot the batch at the first positive join — and, being pure
+filters, they then run ahead of any remaining positive joins.
+
+Plans are execution-order metadata only: the planner still builds the same
+element types, so the interpreted element walk remains the differential
+oracle and optimized plans must be result-identical (same ``HeadRoute``
+multisets, same fixpoint table states) even where derivation order differs.
+
+:func:`optimize_program` caches its result on the program object (like
+``check_program``), so a many-node simulation plans once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple as PyTuple
+
+from ..core.errors import PlannerError
+from ..overlog import ast
+
+#: rows assumed for materialized tables with no finite ``max_size`` hint
+DEFAULT_CARDINALITY = 64.0
+
+_CACHE_ATTR = "_planner_program_plan"
+
+
+@dataclass(frozen=True)
+class JoinChoice:
+    """Cost estimate for probing one body predicate at one plan point."""
+
+    probe_positions: PyTuple[int, ...]  # table-side fields with bound keys
+    covers_key: bool                    # probe covers the declared primary key
+    size_hint: float                    # declared max_size (or the default)
+    est_matches: float                  # estimated rows per probe
+    arity: int
+
+    @property
+    def bound_fraction(self) -> float:
+        return len(self.probe_positions) / self.arity if self.arity else 0.0
+
+
+@dataclass
+class PlannedTerm:
+    """One body term at its chosen position in the execution order."""
+
+    body_index: int                     # position in ``rule.body``
+    term: ast.BodyTerm
+    kind: str                           # "select" | "assign" | "join" | "antijoin"
+    choice: Optional[JoinChoice] = None
+    #: placed ahead of a positive join that precedes it in the rule body
+    hoisted: bool = False
+
+
+@dataclass
+class RulePlan:
+    """The placement order for one (rule, triggering predicate) strand."""
+
+    rule_id: str
+    event_name: str
+    event_body_index: int
+    terms: List[PlannedTerm]
+    #: True when the order differs from what the naive planner would pick
+    reordered: bool = False
+
+    def order(self) -> List[int]:
+        return [t.body_index for t in self.terms]
+
+    def render_lines(self) -> List[str]:
+        marker = " (reordered)" if self.reordered else ""
+        lines = [f"rule {self.rule_id} on {self.event_name}{marker}:"]
+        for step, t in enumerate(self.terms, start=1):
+            lines.append(f"  {step}. {_describe_term(t)}")
+        if not self.terms:
+            lines.append("  (event only)")
+        return lines
+
+
+@dataclass
+class ProgramPlan:
+    """Every strand's plan plus the secondary-index plan they imply."""
+
+    rules: List[RulePlan] = field(default_factory=list)
+    #: table name -> probe position sets needing a secondary index
+    indexes: Dict[str, List[PyTuple[int, ...]]] = field(default_factory=dict)
+
+    def rule_plan(self, rule_id: str, event_body_index: int) -> Optional[RulePlan]:
+        for plan in self.rules:
+            if plan.rule_id == rule_id and plan.event_body_index == event_body_index:
+                return plan
+        return None
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for plan in self.rules:
+            lines.extend(plan.render_lines())
+        lines.append("indexes:")
+        if self.indexes:
+            for table in sorted(self.indexes):
+                for positions in self.indexes[table]:
+                    cols = ", ".join(str(p) for p in positions)
+                    lines.append(f"  {table}({cols})")
+        else:
+            lines.append("  (none beyond primary keys)")
+        return "\n".join(lines)
+
+
+def _describe_term(planned: PlannedTerm) -> str:
+    term = planned.term
+    hoist = " [hoisted]" if planned.hoisted else ""
+    if planned.kind == "select":
+        return f"select {term.expression}{hoist}"
+    if planned.kind == "assign":
+        return f"assign {term.variable} := {term.expression}{hoist}"
+    choice = planned.choice
+    probe = ",".join(str(p) for p in choice.probe_positions) if choice else ""
+    if choice is None:
+        detail = ""
+    elif choice.covers_key:
+        detail = f" probe({probe}) unique"
+    elif choice.probe_positions:
+        detail = f" probe({probe}) est<={choice.est_matches:g}"
+    else:
+        detail = f" scan est<={choice.est_matches:g}"
+    if planned.kind == "antijoin":
+        return f"antijoin {term.name}{detail}{hoist}"
+    return f"join {term.name}{detail}"
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+
+def join_choice(pred: ast.Predicate, bound: Sequence[str], infos: Dict[str, Any]) -> JoinChoice:
+    """Cost one candidate (anti)join given the currently bound variables.
+
+    Mirrors ``Planner._compile_join``'s probe construction: bound variables
+    and constants become probe key positions; repeated *new* variables
+    become post-selects and do not narrow the probe.
+    """
+    bound_set = set(bound)
+    probe: List[int] = []
+    new_vars: set = set()
+    for pos, arg in enumerate(pred.args):
+        if isinstance(arg, ast.Variable):
+            if arg.name in bound_set:
+                probe.append(pos)
+            else:
+                new_vars.add(arg.name)
+        elif isinstance(arg, ast.Constant):
+            probe.append(pos)
+    arity = len(pred.args)
+    size = DEFAULT_CARDINALITY
+    key_positions: Optional[set] = None
+    info = infos.get(pred.name)
+    if info is not None:
+        max_size = getattr(info, "max_size", None)
+        if max_size is not None and max_size != float("inf"):
+            size = float(max_size)
+        if getattr(info, "keys", None):
+            key_positions = {k - 1 for k in info.keys}
+    covers = key_positions is not None and key_positions <= set(probe)
+    if covers:
+        est = 1.0
+    elif probe:
+        est = max(1.0, size / float(2 ** len(probe)))
+    else:
+        est = size
+    return JoinChoice(tuple(probe), covers, size, est, arity)
+
+
+def _score(choice: JoinChoice, body_index: int) -> tuple:
+    return (choice.est_matches, -choice.bound_fraction, choice.size_hint, body_index)
+
+
+# ---------------------------------------------------------------------------
+# Per-strand planning
+# ---------------------------------------------------------------------------
+
+
+def _initial_bound(event_pred: ast.Predicate) -> set:
+    bound = set()
+    for arg in event_pred.args:
+        if isinstance(arg, ast.Variable):
+            bound.add(arg.name)
+    if event_pred.location:
+        bound.add(event_pred.location)
+    return bound
+
+
+def _placeable_guard(term: ast.BodyTerm, bound: set) -> bool:
+    return all(v in bound for v in term.expression.variables())
+
+
+def _antijoin_ready(pred: ast.Predicate, bound: set) -> bool:
+    return all(
+        v in bound or isinstance(a, (ast.DontCare, ast.Constant))
+        for a in pred.args
+        for v in a.variables()
+    )
+
+
+def plan_strand(
+    rule: ast.Rule,
+    event_pred: ast.Predicate,
+    infos: Dict[str, Any],
+    *,
+    optimize: bool = True,
+) -> RulePlan:
+    """Choose the execution order of *rule*'s body for the *event_pred* strand.
+
+    With ``optimize=False`` this reproduces the naive planner's walk exactly
+    (selections, assignments, first body-order join sharing a bound
+    variable, any join, negated last) — used both as the escape hatch and to
+    detect which optimized plans actually reordered anything.
+    """
+    bound = _initial_bound(event_pred)
+    event_body_index = next(
+        i for i, t in enumerate(rule.body) if t is event_pred
+    )
+    remaining: List[PyTuple[int, ast.BodyTerm]] = [
+        (i, t) for i, t in enumerate(rule.body) if t is not event_pred
+    ]
+    positive_total = sum(
+        1 for _, t in remaining if isinstance(t, ast.Predicate) and not t.negated
+    )
+    positive_placed = 0
+    terms: List[PlannedTerm] = []
+
+    def hoisted_past_join(body_index: int) -> bool:
+        return any(
+            isinstance(t, ast.Predicate) and not t.negated and i < body_index
+            for i, t in remaining
+        )
+
+    while remaining:
+        picked: Optional[PyTuple[int, ast.BodyTerm]] = None
+        kind = ""
+        choice: Optional[JoinChoice] = None
+        for i, t in remaining:
+            if isinstance(t, ast.Selection) and _placeable_guard(t, bound):
+                picked, kind = (i, t), "select"
+                break
+        if picked is None:
+            for i, t in remaining:
+                if isinstance(t, ast.Assignment) and _placeable_guard(t, bound):
+                    picked, kind = (i, t), "assign"
+                    break
+        if picked is None and optimize:
+            # anti-joins are filters: run them as soon as they are legal
+            if positive_placed > 0 or positive_total == 0:
+                for i, t in remaining:
+                    if (
+                        isinstance(t, ast.Predicate)
+                        and t.negated
+                        and _antijoin_ready(t, bound)
+                    ):
+                        picked, kind = (i, t), "antijoin"
+                        choice = join_choice(t, bound, infos)
+                        break
+            if picked is None:
+                candidates = [
+                    (i, t)
+                    for i, t in remaining
+                    if isinstance(t, ast.Predicate) and not t.negated
+                ]
+                if candidates:
+                    scored = [
+                        (join_choice(t, bound, infos), i, t) for i, t in candidates
+                    ]
+                    scored.sort(key=lambda entry: _score(entry[0], entry[1]))
+                    choice, i, t = scored[0]
+                    picked, kind = (i, t), "join"
+        elif picked is None:
+            positive = [
+                (i, t)
+                for i, t in remaining
+                if isinstance(t, ast.Predicate) and not t.negated
+            ]
+            sharing = [
+                (i, t)
+                for i, t in positive
+                if any(v in bound for v in t.arg_variables())
+            ]
+            if sharing:
+                picked, kind = sharing[0], "join"
+            elif positive:
+                picked, kind = positive[0], "join"
+            if picked is not None:
+                choice = join_choice(picked[1], bound, infos)
+        if picked is None:
+            for i, t in remaining:
+                if (
+                    isinstance(t, ast.Predicate)
+                    and t.negated
+                    and _antijoin_ready(t, bound)
+                ):
+                    picked, kind = (i, t), "antijoin"
+                    choice = join_choice(t, bound, infos)
+                    break
+        if picked is None:
+            raise PlannerError(
+                f"rule {rule.rule_id}: cannot order body terms "
+                f"{[str(t) for _, t in remaining]} with bound variables {sorted(bound)}"
+            )
+
+        body_index, term = picked
+        hoisted = kind in ("select", "assign", "antijoin") and hoisted_past_join(body_index)
+        remaining.remove(picked)
+        if kind == "assign":
+            bound.add(term.variable)
+        elif kind == "join":
+            positive_placed += 1
+            for var in term.arg_variables():
+                bound.add(var)
+        terms.append(PlannedTerm(body_index, term, kind, choice, hoisted))
+
+    return RulePlan(rule.rule_id, event_pred.name, event_body_index, terms)
+
+
+# ---------------------------------------------------------------------------
+# Whole-program planning
+# ---------------------------------------------------------------------------
+
+
+def optimize_program(program: ast.Program) -> ProgramPlan:
+    """Plan every strand of *program* and derive the secondary-index plan.
+
+    The result is cached on the program object (keyed like
+    ``check_program``'s cache), so the per-node planners of a simulation
+    share one plan.
+    """
+    key = (len(program.materializations), len(program.rules), len(program.facts))
+    cached = getattr(program, _CACHE_ATTR, None)
+    if cached is not None and cached[0] == key:
+        return cached[1]
+
+    from ..overlog.check import signatures
+    from .analyzer import RuleKind, analyze_rule
+
+    infos = signatures(program)
+    plan = ProgramPlan()
+    for rule in program.rules:
+        analysis = analyze_rule(rule, program)
+        if analysis.kind is RuleKind.CONTINUOUS_AGGREGATE:
+            candidates = [rule.positive_predicates()[0]]
+        else:
+            candidates = list(analysis.event_candidates)
+        for event_pred in candidates:
+            optimized = plan_strand(rule, event_pred, infos, optimize=True)
+            naive = plan_strand(rule, event_pred, infos, optimize=False)
+            optimized.reordered = optimized.order() != naive.order()
+            plan.rules.append(optimized)
+
+    key_positions = {
+        name: tuple(k - 1 for k in info.keys)
+        for name, info in infos.items()
+        if info.materialized and info.keys
+    }
+    seen: Dict[str, set] = {}
+    for rule_plan in plan.rules:
+        for planned in rule_plan.terms:
+            if planned.kind not in ("join", "antijoin") or planned.choice is None:
+                continue
+            positions = planned.choice.probe_positions
+            name = planned.term.name
+            if not positions or positions == key_positions.get(name):
+                continue
+            if positions in seen.setdefault(name, set()):
+                continue
+            seen[name].add(positions)
+            plan.indexes.setdefault(name, []).append(positions)
+    for name in plan.indexes:
+        plan.indexes[name].sort()
+
+    try:
+        setattr(program, _CACHE_ATTR, (key, plan))
+    except AttributeError:  # pragma: no cover - Program is a plain dataclass
+        pass
+    return plan

@@ -36,6 +36,7 @@ from ..pel import compile_expression, constant_program, load_program
 from ..pel.program import Program as PelProgram
 from ..tables.table import INFINITY, Table, TableStore
 from .analyzer import RuleAnalysis, RuleKind, analyze_rule
+from .optimizer import ProgramPlan, optimize_program, plan_strand
 from .strand import ContinuousAggregateStrand, PeriodicSpec, RuleStrand
 
 
@@ -57,6 +58,9 @@ class CompiledDataflow:
     #: :mod:`repro.planner.strand_compiler` (the default); False is the
     #: element-walking escape hatch / differential oracle
     fused: bool = False
+    #: True when body terms were placed by the cost-based optimizer
+    #: (:mod:`repro.planner.optimizer`); False is the naive body-order walk
+    optimized: bool = False
 
     def all_strands(self) -> List[RuleStrand]:
         out: List[RuleStrand] = []
@@ -95,6 +99,7 @@ class Planner:
         tables: TableStore,
         *,
         fused: bool = True,
+        optimize: bool = True,
         strict: bool = False,
     ):
         if isinstance(program, str):
@@ -105,8 +110,12 @@ class Planner:
         #: compile each strand into a fused closure (the default); False
         #: keeps the interpreted element walk — the differential oracle
         self.fused = fused
+        #: place body terms with the cost-based optimizer (the default);
+        #: False keeps the naive body-order walk — the plan-level oracle
+        self.optimize = optimize
         #: treat analyzer warnings as fatal
         self.strict = strict
+        self._plan: Optional[ProgramPlan] = None
 
     # -- public API ---------------------------------------------------------------
     def compile(self) -> CompiledDataflow:
@@ -117,9 +126,13 @@ class Planner:
         if fatal:
             raise OverlogAnalysisError(fatal)
         compiled = CompiledDataflow(self.program)
+        compiled.optimized = self.optimize
         compiled.transmit = TransmitBuffer(name="transmit")
         compiled.graph.add(compiled.transmit)
         self._create_tables()
+        if self.optimize:
+            self._plan = optimize_program(self.program)
+            self._install_indexes(self._plan)
         for rule in self.program.rules:
             analysis = analyze_rule(rule, self.program)
             if analysis.kind is RuleKind.CONTINUOUS_AGGREGATE:
@@ -152,6 +165,17 @@ class Planner:
                 lifetime=mat.lifetime if mat.lifetime != float("inf") else INFINITY,
                 max_size=mat.max_size if mat.max_size != float("inf") else INFINITY,
             )
+
+    def _install_indexes(self, plan: ProgramPlan) -> None:
+        """Create the plan's secondary indexes up-front (still lazily safe:
+        ``_compile_join`` keeps adding any index a join needs on demand)."""
+        for name, position_sets in plan.indexes.items():
+            if not self.tables.has(name):
+                continue
+            table = self.tables.get(name)
+            for positions in position_sets:
+                if not table.has_index(positions):
+                    table.add_index(positions)
 
     # -- facts ----------------------------------------------------------------------
     def _resolve_fact(self, fact: ast.Fact) -> Tuple:
@@ -221,13 +245,10 @@ class Planner:
             schema[event_pred.location] = width
             width += 1
 
-        # 2. place the remaining body terms
-        remaining: List[ast.BodyTerm] = [
-            t for t in rule.body if not (isinstance(t, ast.Predicate) and t is event_pred)
-        ]
-        while remaining:
-            term = self._next_placeable(remaining, schema, rule)
-            remaining.remove(term)
+        # 2. place the remaining body terms in plan order: the cost-based
+        #    optimizer's choice by default, the naive body-order walk when
+        #    ``optimize=False`` (the plan-level differential oracle)
+        for term in self._placement_order(rule, event_pred):
             if isinstance(term, ast.Selection):
                 ops.append(
                     Select(
@@ -261,54 +282,57 @@ class Planner:
             compiled.graph.add(element)
         return strand
 
-    def _next_placeable(
-        self, remaining: List[ast.BodyTerm], schema: Dict[str, int], rule: ast.Rule
-    ) -> ast.BodyTerm:
-        """Pick the next body term whose inputs are available.
+    def _placement_order(
+        self, rule: ast.Rule, event_pred: ast.Predicate
+    ) -> List[ast.BodyTerm]:
+        """The execution order for *rule*'s body terms (event excluded).
 
-        Preference order: selections, then assignments (cheap, reduce work
-        early — the paper's "push a selection upstream of an equijoin"), then
-        positive joins sharing a bound variable, then any positive join, and
-        finally negated predicates (anti-joins) once their variables are bound.
+        With ``optimize=True`` the order comes from the cached whole-program
+        :class:`~repro.planner.optimizer.ProgramPlan`; otherwise
+        :func:`~repro.planner.optimizer.plan_strand` replays the historical
+        naive walk (selections, then assignments — cheap, reduce work early,
+        the paper's "push a selection upstream of an equijoin" — then the
+        first body-order join sharing a bound variable, then any positive
+        join, negated predicates last).
         """
-        selections = [
-            t
-            for t in remaining
-            if isinstance(t, ast.Selection)
-            and all(v in schema for v in t.expression.variables())
-        ]
-        if selections:
-            return selections[0]
-        assignments = [
-            t
-            for t in remaining
-            if isinstance(t, ast.Assignment)
-            and all(v in schema for v in t.expression.variables())
-        ]
-        if assignments:
-            return assignments[0]
-        positive = [t for t in remaining if isinstance(t, ast.Predicate) and not t.negated]
-        sharing = [
-            p for p in positive if any(v in schema for v in p.arg_variables())
-        ]
-        if sharing:
-            return sharing[0]
-        if positive:
-            return positive[0]
-        negated = [
-            t
-            for t in remaining
-            if isinstance(t, ast.Predicate)
-            and t.negated
-            and all(v in schema or isinstance(a, (ast.DontCare, ast.Constant))
-                    for a in t.args for v in a.variables())
-        ]
-        if negated:
-            return negated[0]
-        raise PlannerError(
-            f"rule {rule.rule_id}: cannot order body terms "
-            f"{[str(t) for t in remaining]} with bound variables {sorted(schema)}"
-        )
+        if self.optimize and self._plan is not None:
+            event_body_index = next(
+                i for i, t in enumerate(rule.body) if t is event_pred
+            )
+            rule_plan = self._plan.rule_plan(rule.rule_id, event_body_index)
+            if rule_plan is not None:
+                return [planned.term for planned in rule_plan.terms]
+        rule_plan = plan_strand(rule, event_pred, {}, optimize=self.optimize)
+        return [planned.term for planned in rule_plan.terms]
+
+    @classmethod
+    def explain(cls, program: "ast.Program | str", *, optimize: bool = True) -> str:
+        """Render the chosen plan for *program* as stable text.
+
+        Shows every strand's placement order (join order with probe/index
+        annotations, hoisted guards) followed by the secondary-index plan —
+        the output the golden plan snapshots under ``tests/golden/plans/``
+        pin.  Works on the AST alone: no host or table store is needed.
+        """
+        if isinstance(program, str):
+            program = parse_program(program)
+        if optimize:
+            return optimize_program(program).render()
+        from ..overlog.check import signatures
+
+        infos = signatures(program)
+        plan = ProgramPlan()
+        for rule in program.rules:
+            analysis = analyze_rule(rule, program)
+            if analysis.kind is RuleKind.CONTINUOUS_AGGREGATE:
+                candidates = [rule.positive_predicates()[0]]
+            else:
+                candidates = list(analysis.event_candidates)
+            for event_pred in candidates:
+                plan.rules.append(
+                    plan_strand(rule, event_pred, infos, optimize=False)
+                )
+        return plan.render()
 
     def _compile_join(
         self,

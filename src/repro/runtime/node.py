@@ -55,6 +55,7 @@ class P2Node:
         batching: bool = True,
         shard: Optional[int] = None,
         fused: bool = True,
+        optimize: bool = True,
     ):
         self.address = address
         self.network = network
@@ -71,9 +72,12 @@ class P2Node:
         #: strands run as fused closures by default; ``fused=False`` is the
         #: interpreted element-walk escape hatch (the differential oracle)
         self.fused = fused
+        #: body terms placed by the cost-based optimizer by default;
+        #: ``optimize=False`` keeps the naive body-order plans (the oracle)
+        self.optimize = optimize
         self.tables = TableStore()
         self.compiled: CompiledDataflow = Planner(
-            program, self, self.tables, fused=fused
+            program, self, self.tables, fused=fused, optimize=optimize
         ).compile()
         #: planner-built egress element; every remote-bound head tuple is
         #: coalesced here and flushed as datagram trains once per drain

@@ -51,6 +51,7 @@ class OverlaySimulation:
         batching: bool = True,
         shards: int = 1,
         fused: bool = True,
+        optimize: bool = True,
         faults: Optional[FaultSchedule] = None,
         monitors: Sequence[Monitor] = (),
     ):
@@ -78,6 +79,9 @@ class OverlaySimulation:
         #: whether node strands run as fused closures (the default) or
         #: through the interpreted element walk (the differential oracle)
         self.fused = fused
+        #: whether node plans come from the cost-based optimizer (the
+        #: default) or the naive body-order walk (the plan-level oracle)
+        self.optimize = optimize
         self._rng = random.Random(seed)
         self.nodes: Dict[str, P2Node] = {}
         self._counter = 0
@@ -134,6 +138,7 @@ class OverlaySimulation:
             batching=self.batching,
             shard=shard,
             fused=self.fused,
+            optimize=self.optimize,
         )
         self.network.register(node)
         self.nodes[address] = node
@@ -233,6 +238,7 @@ def transit_stub_simulation(
     batching: bool = True,
     shards: int = 1,
     fused: bool = True,
+    optimize: bool = True,
     faults: Optional[FaultSchedule] = None,
     monitors: Sequence[Monitor] = (),
 ) -> OverlaySimulation:
@@ -247,6 +253,7 @@ def transit_stub_simulation(
         batching=batching,
         shards=shards,
         fused=fused,
+        optimize=optimize,
         faults=faults,
         monitors=monitors,
     )

@@ -155,6 +155,10 @@ class Table:
         key = tuple(positions)
         return key == self.key_positions or key in self._indices
 
+    def indexed_positions(self) -> List[tuple]:
+        """The secondary-index position sets currently installed (sorted)."""
+        return sorted(self._indices)
+
     # -- core operations ---------------------------------------------------------
     def primary_key(self, tup: Tuple) -> Key:
         try:

@@ -1,0 +1,47 @@
+"""Golden snapshots of ``Planner.explain()`` for the bundled overlays.
+
+The explain text is the optimizer's public, stable rendering of every chosen
+plan — join order, probe/index annotations, hoisted guards, and the
+secondary-index plan.  Any optimizer or cost-model change that alters a
+bundled overlay's plan must show up here as a reviewed golden diff, not as a
+silent behavior change.
+
+Regenerate with ``pytest tests/test_golden_plans.py --update-golden``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.planner import Planner
+
+from tests.test_strand_fusion import OVERLAY_PROGRAMS
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden" / "plans"
+
+
+@pytest.mark.parametrize("name", sorted(OVERLAY_PROGRAMS))
+def test_overlay_plan_matches_golden(name, request):
+    text = Planner.explain(OVERLAY_PROGRAMS[name]) + "\n"
+    path = GOLDEN_DIR / f"{name}.txt"
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        pytest.skip(f"golden snapshot rewritten: {path}")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; regenerate with "
+        "`pytest tests/test_golden_plans.py --update-golden`"
+    )
+    assert text == path.read_text(), (
+        f"plan for {name!r} changed; if intended, regenerate with "
+        "`pytest tests/test_golden_plans.py --update-golden` and review the diff"
+    )
+
+
+def test_explain_is_deterministic_across_parses():
+    """Two independent parses of the same source yield identical text (the
+    plan cache is per-AST, so this exercises a cold plan each time)."""
+    name = sorted(OVERLAY_PROGRAMS)[0]
+    assert Planner.explain(OVERLAY_PROGRAMS[name]) == Planner.explain(
+        OVERLAY_PROGRAMS[name]
+    )

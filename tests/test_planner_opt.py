@@ -1,0 +1,372 @@
+"""Plan-equivalence differential harness for the cost-based optimizer.
+
+The optimizer (``repro.planner.optimizer``) may reorder joins, hoist guards
+and anti-joins, and install extra indexes — but it must never change *what*
+a rule derives, only the order work happens in.  The oracle is the
+interpreted, unoptimized configuration ``(optimize=False, fused=False)``:
+every other point of the (optimize × fused) grid must produce
+
+* the same ``HeadRoute`` **multiset** per strand firing (derivation order
+  may legitimately differ under a different join order), and
+* the same fixpoint table states and derived-stream multisets after a
+  node-level event drive.
+
+Programs come from the shared seeded generator
+(``tests.support.genprograms``) — whose randomized shapes are built so no
+firing can raise from one plan order but not another — plus the fixed rule
+shapes and all four bundled overlays.  The slow acceptance sweep re-runs
+the full chord static and churn experiments optimized vs. unoptimized;
+chord's cost ties all resolve to body order and its reordered strands probe
+singleton tables, so those runs are required to be bit-identical.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core import Tuple
+from repro.overlog import parse_program
+from repro.planner import Planner, optimize_program, plan_strand
+from repro.planner.optimizer import DEFAULT_CARDINALITY
+
+from tests.support.genprograms import (
+    GENERATED_PROGRAMS,
+    SHAPES,
+    generate_program,
+    make_node,
+    populate_tables,
+    random_value,
+)
+from tests.test_strand_fusion import OVERLAY_PROGRAMS
+
+#: every non-oracle point of the optimize × fused grid
+GRID = [(True, True), (True, False), (False, True)]
+ORACLE = (False, False)
+
+
+def make_grid(program, seed=0):
+    """One node per grid point; index 0 is the interpreted-unoptimized oracle."""
+    configs = [ORACLE] + GRID
+    return [
+        make_node(program, fused, seed=seed, optimize=optimize)
+        for optimize, fused in configs
+    ]
+
+
+def strand_lists(node):
+    out = []
+    for name in sorted(node.compiled.strands_by_event):
+        out.extend(node.compiled.strands_by_event[name])
+    out.extend(spec.strand for spec in node.compiled.periodics)
+    return out
+
+
+def route_key(route):
+    return (
+        repr(route.destination),
+        route.tuple.name,
+        repr(route.tuple.fields),
+        route.is_delete,
+    )
+
+
+def fire_multiset_differentially(nodes, rng, events_per_strand=25):
+    """Fire matching strands on every grid node; compare route multisets."""
+    addr = nodes[0].address
+    per_node = [strand_lists(node) for node in nodes]
+    assert all(len(lst) == len(per_node[0]) for lst in per_node)
+    for strands in zip(*per_node):
+        reference = strands[0]
+        assert all(s.rule_id == reference.rule_id for s in strands)
+        for trial in range(events_per_strand):
+            # exact event arity only: an over-wide event shifts the join
+            # schema, and what *garbage* it derives is plan-dependent — the
+            # fusion suite (identical plans) covers that path instead
+            arity = reference.min_event_arity
+            fields = [addr if trial % 2 else random_value(rng, addr)] + [
+                random_value(rng, addr) for _ in range(max(arity - 1, 0))
+            ]
+            event = Tuple(reference.event_name, fields or [addr])
+            outcomes = []
+            for strand in strands:
+                try:
+                    routes = strand.process(event, addr).routes
+                    outcomes.append(("ok", sorted(route_key(r) for r in routes)))
+                except Exception as exc:  # noqa: BLE001 - the error IS the observable
+                    outcomes.append(("err", f"{type(exc).__name__}: {exc}"))
+            for other in outcomes[1:]:
+                assert other == outcomes[0], (reference.rule_id, event)
+
+
+def drive_node_differentially(nodes, rng, events_per_stream=10):
+    """Inject identical event streams into every node; compare fixpoints."""
+    addr = nodes[0].address
+    derived = [Counter() for _ in nodes]
+    event_names = sorted(nodes[0].compiled.strands_by_event)
+    table_names = sorted(nodes[0].compiled.program.materialized_names())
+    for index, node in enumerate(nodes):
+        for name in set(
+            [rule.head.name for rule in node.compiled.program.rules]
+        ) - set(table_names):
+            node.subscribe(
+                name,
+                lambda tup, counter=derived[index]: counter.update(
+                    [(tup.name, repr(tup.fields))]
+                ),
+            )
+        node.alive = True
+    for name in event_names:
+        arities = {
+            s.min_event_arity for s in nodes[0].compiled.strands_by_event[name]
+        }
+        arity = max(arities)
+        for _ in range(events_per_stream):
+            fields = [addr] + [
+                random_value(rng, addr) for _ in range(max(arity - 1, 0))
+            ]
+            event = Tuple(name, fields)
+            for node in nodes:
+                node.route(event)
+    oracle_tables = {
+        name: sorted(repr(t) for t in nodes[0].scan(name)) for name in table_names
+    }
+    for node in nodes[1:]:
+        for name in table_names:
+            assert (
+                sorted(repr(t) for t in node.scan(name)) == oracle_tables[name]
+            ), name
+    for counter in derived[1:]:
+        assert counter == derived[0]
+
+
+# ---------------------------------------------------------------------------
+# The differential grid
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(GENERATED_PROGRAMS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_fixed_shapes_grid_vs_oracle(name, seed):
+    rng = random.Random(seed * 1000 + 31)
+    nodes = make_grid(GENERATED_PROGRAMS[name], seed=seed)
+    fire_multiset_differentially(nodes, random.Random(seed), events_per_strand=5)
+    populate_tables(nodes, rng, rows_per_table=8)
+    fire_multiset_differentially(nodes, rng)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_randomized_shapes_grid_vs_oracle(shape, seed):
+    source = generate_program(shape, seed)
+    rng = random.Random(seed * 677 + 11)
+    nodes = make_grid(source, seed=seed)
+    fire_multiset_differentially(nodes, random.Random(seed), events_per_strand=5)
+    populate_tables(nodes, rng, rows_per_table=8)
+    fire_multiset_differentially(nodes, rng, events_per_strand=40)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_shapes_node_fixpoint(shape, seed):
+    source = generate_program(shape, seed)
+    rng = random.Random(seed * 313 + 7)
+    nodes = make_grid(source, seed=seed)
+    populate_tables(nodes, rng, rows_per_table=6)
+    drive_node_differentially(nodes, rng)
+
+
+@pytest.mark.parametrize("name", sorted(OVERLAY_PROGRAMS))
+def test_overlay_strands_grid_vs_oracle(name):
+    rng = random.Random(len(name) * 97 + 3)
+    nodes = make_grid(OVERLAY_PROGRAMS[name], seed=13)
+    fire_multiset_differentially(nodes, random.Random(2), events_per_strand=4)
+    populate_tables(nodes, rng)
+    fire_multiset_differentially(nodes, rng, events_per_strand=12)
+
+
+# ---------------------------------------------------------------------------
+# Optimizer unit behavior
+# ---------------------------------------------------------------------------
+
+WIDE_VS_LINK = """
+    materialize(wide, infinity, 512, keys(2, 3)).
+    materialize(link, infinity, 16, keys(2, 3)).
+    J1 out@NI(NI, A, B, C) :- trig@NI(NI, A), wide@NI(NI, B, C), link@NI(NI, A, B).
+"""
+
+
+def test_join_order_prefers_bound_small_table():
+    """The naive walk picks `wide` (first body join sharing NI); the cost
+    model must pick `link`, whose probe binds two of three fields."""
+    program = parse_program(WIDE_VS_LINK)
+    plan = optimize_program(program)
+    rule_plan = plan.rules[0]
+    assert rule_plan.reordered
+    join_names = [t.term.name for t in rule_plan.terms if t.kind == "join"]
+    assert join_names == ["link", "wide"]
+
+
+def test_optimizer_is_stable_on_ties():
+    """Equal-cost joins keep rule-body order, so undiscriminated plans are
+    byte-identical to the naive planner's."""
+    source = """
+        materialize(a, infinity, infinity, keys(2)).
+        materialize(b, infinity, infinity, keys(2)).
+        R1 out@NI(NI, X, Y) :- evt@NI(NI), a@NI(NI, X), b@NI(NI, Y).
+    """
+    program = parse_program(source)
+    rule_plan = optimize_program(program).rules[0]
+    assert not rule_plan.reordered
+    assert [t.term.name for t in rule_plan.terms] == ["a", "b"]
+
+
+def test_guard_hoisting_recorded():
+    source = """
+        materialize(t, infinity, infinity, keys(2)).
+        R1 out@NI(NI, X, Y) :- evt@NI(NI, X), t@NI(NI, Y), X != 7.
+    """
+    rule_plan = optimize_program(parse_program(source)).rules[0]
+    assert [t.kind for t in rule_plan.terms] == ["select", "join"]
+    assert rule_plan.terms[0].hoisted
+
+
+def test_antijoin_waits_for_first_positive_join():
+    """Anti-joins hoist between joins but never ahead of the first positive
+    join (the count<*> fallback snapshots the batch there)."""
+    source = """
+        materialize(t1, infinity, 4, keys(2, 3)).
+        materialize(t2, infinity, 512, keys(2)).
+        materialize(seen, infinity, infinity, keys(2)).
+        R1 out@NI(NI, X, Y, Z) :- evt@NI(NI, X), not seen@NI(NI, X),
+           t1@NI(NI, X, Y), t2@NI(NI, Z).
+    """
+    rule_plan = optimize_program(parse_program(source)).rules[0]
+    kinds = [t.kind for t in rule_plan.terms]
+    assert kinds == ["join", "antijoin", "join"]
+    assert [t.term.name for t in rule_plan.terms] == ["t1", "seen", "t2"]
+    # this antijoin was *deferred* (body had it before any join), not hoisted
+    assert not rule_plan.terms[1].hoisted
+
+
+def test_antijoin_hoists_between_joins():
+    """A trailing antijoin whose variables bind early filters ahead of the
+    remaining positive joins."""
+    source = """
+        materialize(t1, infinity, 4, keys(2, 3)).
+        materialize(t2, infinity, 512, keys(2)).
+        materialize(seen, infinity, infinity, keys(2)).
+        R1 out@NI(NI, X, Y, Z) :- evt@NI(NI, X), t1@NI(NI, X, Y),
+           t2@NI(NI, Z), not seen@NI(NI, X).
+    """
+    rule_plan = optimize_program(parse_program(source)).rules[0]
+    assert [t.term.name for t in rule_plan.terms] == ["t1", "seen", "t2"]
+    assert rule_plan.terms[1].kind == "antijoin"
+    assert rule_plan.terms[1].hoisted
+
+
+def test_index_plan_covers_chosen_probes():
+    program = parse_program(WIDE_VS_LINK)
+    plan = optimize_program(program)
+    # link probed on (NI, A) = positions (0, 1); wide probed on (NI, B)
+    # after link binds B — both off the (2,3)-keyed tables' primary keys
+    assert (0, 1) in plan.indexes["link"]
+    assert (0, 1) in plan.indexes["wide"]
+
+
+def test_planner_installs_plan_indexes():
+    node = make_node(WIDE_VS_LINK, True, optimize=True)
+    assert (0, 1) in node.tables.get("link").indexed_positions()
+    assert (0, 1) in node.tables.get("wide").indexed_positions()
+
+
+def test_program_plan_is_cached_on_program():
+    program = parse_program(WIDE_VS_LINK)
+    assert optimize_program(program) is optimize_program(program)
+
+
+def test_default_cardinality_used_without_hints():
+    source = """
+        materialize(t, infinity, infinity, keys(2)).
+        R1 out@NI(NI, X) :- evt@NI(NI), t@NI(NI, X).
+    """
+    rule_plan = optimize_program(parse_program(source)).rules[0]
+    choice = rule_plan.terms[0].choice
+    assert choice.size_hint == DEFAULT_CARDINALITY
+    assert not choice.covers_key
+
+
+def test_plan_strand_naive_matches_historic_order():
+    """optimize=False replays the historical walk: body-order joins first
+    sharing a bound variable, negated predicates last."""
+    program = parse_program(WIDE_VS_LINK)
+    rule = program.rules[0]
+    event = rule.body[0]
+    naive = plan_strand(rule, event, {}, optimize=False)
+    assert [t.term.name for t in naive.terms if t.kind == "join"] == ["wide", "link"]
+
+
+def test_explain_renders_stable_text():
+    text = Planner.explain(WIDE_VS_LINK)
+    assert "rule J1 on trig (reordered):" in text
+    assert "join link probe(0,1)" in text
+    assert "indexes:" in text
+    assert text == Planner.explain(WIDE_VS_LINK)  # deterministic
+
+
+def test_explain_naive_mode_shows_body_order():
+    text = Planner.explain(WIDE_VS_LINK, optimize=False)
+    assert "(reordered)" not in text
+    assert text.index("join wide") < text.index("join link")
+
+
+def test_escape_hatch_flags():
+    opt = make_node(WIDE_VS_LINK, True, optimize=True)
+    naive = make_node(WIDE_VS_LINK, True, optimize=False)
+    assert opt.optimize and opt.compiled.optimized
+    assert not naive.optimize and not naive.compiled.optimized
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: full chord runs, optimized vs. unoptimized
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_chord_static_bit_identical_optimized_vs_naive():
+    from repro.experiments import run_static_experiment
+
+    kwargs = dict(
+        seed=3,
+        join_stagger=1.0,
+        stabilization_time=120.0,
+        idle_measurement_time=30.0,
+        lookup_count=30,
+        lookup_rate=3.0,
+        drain_time=15.0,
+    )
+    a = run_static_experiment(8, optimize=True, **kwargs)
+    b = run_static_experiment(8, optimize=False, **kwargs)
+    assert a.__dict__ == b.__dict__
+
+
+@pytest.mark.slow
+def test_chord_churn_bit_identical_optimized_vs_naive():
+    from repro.experiments import run_churn_experiment
+
+    kwargs = dict(
+        seed=5,
+        stabilization_time=60.0,
+        churn_duration=60.0,
+        lookup_rate=2.0,
+        drain_time=15.0,
+        program_kwargs=dict(
+            stabilize_period=5.0,
+            succ_lifetime=4.0,
+            ping_period=2.0,
+            finger_period=5.0,
+        ),
+    )
+    a = run_churn_experiment(6, 120.0, optimize=True, **kwargs)
+    b = run_churn_experiment(6, 120.0, optimize=False, **kwargs)
+    assert a.__dict__ == b.__dict__

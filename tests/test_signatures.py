@@ -1,0 +1,99 @@
+"""Direct unit tests for ``overlog.check.signatures()``.
+
+The signature map is the cost-based planner's sole input (table sizes, keys,
+producer/consumer rule ids, inferred field types), so its contract is pinned
+here independently of any planner behavior.
+"""
+
+import math
+
+import pytest
+
+from repro.overlog import parse_program
+from repro.overlog.check import PredicateInfo, signatures
+
+SOURCE = """
+materialize(link, infinity, 64, keys(1, 2)).
+materialize(path, 10, 128, keys(1)).
+materialize(seen, infinity, infinity, keys(1)).
+
+link("n1", "n2", 5).
+link("n1", "n3", 2).
+
+R1 path(A, B, C) :- link(A, B, C).
+R2 path(A, C, S1 + S2) :- link(A, B, S1), path(B, C, S2), C != A.
+D1 delete link(A, B, C) :- kill(A, B), link(A, B, C).
+R3 seen(A) :- kill(A, B).
+"""
+
+
+@pytest.fixture(scope="module")
+def infos():
+    return signatures(parse_program(SOURCE))
+
+
+def test_all_predicates_present(infos):
+    assert set(infos) == {"link", "path", "seen", "kill"}
+    assert all(isinstance(rec, PredicateInfo) for rec in infos.values())
+
+
+def test_arity_inference(infos):
+    assert infos["link"].arity == 3
+    assert infos["path"].arity == 3
+    assert infos["seen"].arity == 1
+    assert infos["kill"].arity == 2
+
+
+def test_materialization_and_keys(infos):
+    assert infos["link"].materialized
+    assert infos["link"].keys == [1, 2]
+    assert infos["path"].keys == [1]
+    # events carry no table metadata at all
+    assert not infos["kill"].materialized
+    assert infos["kill"].keys is None
+
+
+def test_size_and_lifetime_hints(infos):
+    assert infos["link"].max_size == 64.0
+    assert math.isinf(infos["link"].lifetime)
+    assert infos["path"].max_size == 128.0
+    assert infos["path"].lifetime == 10.0
+    assert math.isinf(infos["seen"].max_size)
+    assert infos["kill"].max_size is None
+    assert infos["kill"].lifetime is None
+
+
+def test_produced_by(infos):
+    # facts show up under the "<fact>" pseudo-producer; D1 is a delete rule,
+    # so it does not *produce* link rows and must not be listed
+    assert infos["link"].produced_by == ["<fact>", "<fact>"]
+    assert infos["path"].produced_by == ["R1", "R2"]
+    assert infos["seen"].produced_by == ["R3"]
+    assert infos["kill"].produced_by == []
+
+
+def test_consumed_by(infos):
+    assert infos["link"].consumed_by == ["R1", "R2", "D1"]
+    assert infos["path"].consumed_by == ["R2"]
+    assert infos["kill"].consumed_by == ["D1", "R3"]
+    assert infos["seen"].consumed_by == []
+
+
+def test_field_types(infos):
+    # link field 2 joins against arithmetic (S1 + S2) -> num; fields 0/1
+    # unify with address-position variables
+    assert len(infos["link"].field_types) == 3
+    assert infos["link"].field_types[2] == "num"
+    assert infos["path"].field_types[2] == "num"
+    # no constraint ever touches seen's field beyond address unification,
+    # so whatever is inferred must match kill field 0 (both bind A)
+    assert infos["seen"].field_types[0] == infos["kill"].field_types[0]
+
+
+def test_signatures_ignores_diagnostics():
+    # a program with warnings (unused table) still yields a full map
+    infos = signatures(
+        parse_program("materialize(orphan, infinity, 4, keys(1)).")
+    )
+    assert infos["orphan"].materialized
+    assert infos["orphan"].max_size == 4.0

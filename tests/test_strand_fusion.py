@@ -6,9 +6,10 @@ sequences, same ``fired``/``produced`` counters, same per-element stats —
 bit for bit.  These tests build *twin* single-node worlds (one fused, one
 interpreted, same seed) and drive both with identical randomized table
 contents and event streams, across every bundled overlay program plus
-hand-generated rule shapes (multi-join, antijoin, aggregate-with-fallback,
-delete heads).  A full chord static and a churn experiment are re-run in
-both modes and compared field by field.
+generated rule shapes (multi-join, antijoin, aggregate-with-fallback,
+delete heads) from the shared ``tests.support.genprograms`` module.  A full
+chord static and a churn experiment are re-run in both modes and compared
+field by field.
 """
 
 import random
@@ -23,9 +24,19 @@ from repro.overlays.chord import chord_program
 from repro.overlays.gossip import gossip_program
 from repro.overlays.narada import narada_program
 from repro.overlays.pingpong import pingpong_program
-from repro.overlog import ast, parse_program
 from repro.runtime.node import P2Node
 from repro.sim.event_loop import EventLoop
+
+from tests.support.genprograms import (
+    GENERATED_PROGRAMS,
+    SHAPES,
+    generate_program,
+    make_node,
+    make_twins,
+    paired_strands,
+    populate_tables,
+    random_value,
+)
 
 OVERLAY_PROGRAMS = {
     "chord": chord_program(),
@@ -33,105 +44,6 @@ OVERLAY_PROGRAMS = {
     "gossip": gossip_program(),
     "pingpong": pingpong_program(),
 }
-
-GENERATED_PROGRAMS = {
-    "multi_join": """
-        materialize(t1, infinity, infinity, keys(2, 3)).
-        materialize(t2, infinity, infinity, keys(2, 3)).
-        J1 out@NI(NI, A, B, C) :- trig@NI(NI, A), t1@NI(NI, A, B), t2@NI(NI, B, C).
-    """,
-    "antijoin": """
-        materialize(seen, infinity, infinity, keys(2)).
-        A1 fresh@NI(NI, X) :- evt@NI(NI, X), not seen@NI(NI, X).
-    """,
-    "aggregate_with_fallback": """
-        materialize(member, infinity, infinity, keys(2)).
-        G1 found@NI(NI, A, count<*>) :- probe@NI(NI, A), member@NI(NI, A, S), S > 10.
-    """,
-    "aggregate_max": """
-        materialize(member, infinity, infinity, keys(2)).
-        G2 best@NI(NI, max<S>) :- probe2@NI(NI), member@NI(NI, A, S).
-    """,
-    "delete_head": """
-        materialize(seen, infinity, infinity, keys(2)).
-        D1 delete seen@NI(NI, X) :- drop@NI(NI, X), seen@NI(NI, X).
-    """,
-    "select_assign_chain": """
-        materialize(peer, infinity, infinity, keys(2)).
-        C1 out@NI(NI, Y, D) :- tick@NI(NI, V), V > 3, peer@NI(NI, Y),
-           D := V * 2, D < 100.
-    """,
-    "constant_join_key": """
-        materialize(kv, infinity, infinity, keys(2, 3)).
-        K1 hit@NI(NI, V) :- q@NI(NI), kv@NI(NI, 7, V).
-    """,
-}
-
-
-def make_node(program, fused, seed=0, address="n1"):
-    loop = EventLoop()
-    net = Network(loop, UniformTopology(latency=0.01))
-    node = P2Node(address, program, net, loop, seed=seed, fused=fused)
-    net.register(node)
-    return node
-
-
-def make_twins(program, seed=0):
-    """Two isolated, identically-seeded nodes: fused and interpreted."""
-    return make_node(program, True, seed=seed), make_node(program, False, seed=seed)
-
-
-def table_arities(program_ast):
-    """Arity of each materialized relation, recovered from its uses."""
-    names = set(program_ast.materialized_names())
-    arities = {}
-    for rule in program_ast.rules:
-        if rule.head.name in names:
-            arities[rule.head.name] = len(rule.head.fields)
-        for term in rule.body:
-            if isinstance(term, ast.Predicate) and term.name in names:
-                arities[term.name] = len(term.args)
-    for fact in program_ast.facts:
-        if fact.name in names:
-            arities[fact.name] = len(fact.args)
-    return arities
-
-
-def random_value(rng, address):
-    pool = (address, "n2", "n3", "-", 0, 1, 2, 7, 13, 42, 1009)
-    if rng.random() < 0.6:
-        return rng.choice(pool)
-    return rng.getrandbits(32)
-
-
-def populate_tables(nodes, rng, rows_per_table=6):
-    """Insert the same random rows into every twin's tables."""
-    program_ast = nodes[0].compiled.program
-    arities = table_arities(program_ast)
-    for name in sorted(arities):
-        for _ in range(rows_per_table):
-            fields = [nodes[0].address] + [
-                random_value(rng, nodes[0].address) for _ in range(arities[name] - 1)
-            ]
-            tup = Tuple(name, fields)
-            for node in nodes:
-                node.tables.get(name).insert(tup, 0.0)
-
-
-def paired_strands(fused_node, interp_node):
-    pairs = []
-    for name in fused_node.compiled.strands_by_event:
-        pairs.extend(
-            zip(
-                fused_node.compiled.strands_by_event[name],
-                interp_node.compiled.strands_by_event[name],
-            )
-        )
-    pairs.extend(
-        (fs.strand, is_.strand)
-        for fs, is_ in zip(fused_node.compiled.periodics, interp_node.compiled.periodics)
-    )
-    return pairs
 
 
 def assert_strands_agree(sf, si):
@@ -218,6 +130,18 @@ def test_generated_rule_shapes_fused_vs_interpreted(name, seed):
     fire_differentially(fused_node, interp_node, random.Random(seed), events_per_strand=5)
     populate_tables([fused_node, interp_node], rng, rows_per_table=8)
     fire_differentially(fused_node, interp_node, rng, events_per_strand=40)
+
+
+@pytest.mark.parametrize("shape", SHAPES)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_randomized_shapes_fused_vs_interpreted(shape, seed):
+    """The seeded generator's programs also hold under fusion."""
+    source = generate_program(shape, seed)
+    rng = random.Random(seed * 77 + 5)
+    fused_node, interp_node = make_twins(source, seed=seed)
+    fire_differentially(fused_node, interp_node, random.Random(seed), events_per_strand=5)
+    populate_tables([fused_node, interp_node], rng, rows_per_table=8)
+    fire_differentially(fused_node, interp_node, rng, events_per_strand=30)
 
 
 def test_multi_join_produces_joined_rows_in_same_order():

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-faults test-planner lint bench bench-full check-pythonpath
+.PHONY: test test-fast test-faults test-planner lint lint-py bench bench-full check-pythonpath
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -23,6 +23,13 @@ lint: check-pythonpath
 	$(PYTHON) -m repro.overlog.check --strict \
 	  --overlay chord --overlay narada --overlay gossip --overlay pingpong \
 	  $(wildcard examples/*.olg)
+
+# Determinism lint over the engine's own Python (DET0xx codes): wall-clock
+# reads, PYTHONHASHSEED-dependent hash()/seeds, global-RNG draws, unsorted
+# set iteration on emit paths, out-of-control-plane fault mutation.
+# --strict makes stale-pragma warnings fail too; the tree must stay clean.
+lint-py: check-pythonpath
+	$(PYTHON) -m repro.detlint --strict src/repro benchmarks
 
 # The quick loop: everything except the multi-second Figure 3/4 experiment
 # sweeps (marked `slow`); stays well under 30 seconds.
@@ -48,7 +55,7 @@ LATEST_BENCH := $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 # The regression gate re-runs the (full-mode, seconds-cheap) micro benches
 # and fails on any >25% slowdown against the newest committed baseline; the
 # multi-second fig3/fig4 rows are gated when producing a full BENCH_PR file.
-bench: check-pythonpath test-faults test-planner test lint
+bench: check-pythonpath test-faults test-planner test lint lint-py
 	$(PYTHON) -m benchmarks --quick
 ifneq ($(LATEST_BENCH),)
 	$(PYTHON) -m benchmarks --only micro --compare $(LATEST_BENCH)

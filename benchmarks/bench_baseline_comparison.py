@@ -8,6 +8,9 @@ topology, population, and lookup workload, and compares ring convergence,
 lookup latency/consistency, and wall-clock cost per simulated second.
 """
 
+# det: allow(DET001, file): timing harness — wall-clock cost per simulated
+# second is the quantity under measurement, outside any simulation state.
+
 import random
 import time
 

@@ -40,6 +40,9 @@ top 20 functions by cumulative time — hot-spot hunts in one command, e.g.
 ``python -m benchmarks --only fig3 --quick --profile``.
 """
 
+# det: allow(DET001, file): timing harness — wall-clock perf_counter readings
+# are the measurement itself, never fed into simulated time or RNG streams.
+
 from __future__ import annotations
 
 import argparse
@@ -457,6 +460,28 @@ def bench_micro_analyze(quick: bool, fused: bool = True, optimize: bool = True):
     return run, (3 if quick else 5)
 
 
+def bench_micro_detlint(quick: bool, fused: bool = True, optimize: bool = True):
+    """Whole-repo determinism lint (``python -m repro.detlint src/repro``).
+
+    ``make lint-py`` runs this on every ``make bench``; the row keeps the
+    full parse + call-graph + five-pass sweep well under a second so the
+    gate stays cheap enough to never be skipped.  The assertion doubles as
+    the self-lint acceptance: the engine's own source must stay clean.
+    """
+    from pathlib import Path
+
+    from repro.detlint import lint_paths
+
+    target = str(Path(__file__).resolve().parent.parent / "src" / "repro")
+
+    def run():
+        results = lint_paths([target])
+        assert not any(result.diagnostics for result in results)
+        return {"files_checked": len(results)}
+
+    return run, (3 if quick else 5)
+
+
 def bench_fig4_churn_transport(quick: bool, fused: bool = True, optimize: bool = True):
     """Figure-4 churn on both transport paths: wall-clock plus wire counters.
 
@@ -546,6 +571,7 @@ BENCHES = {
     "micro_strand_fire": bench_strand_fire,
     "micro_join_order": bench_micro_join_order,
     "micro_analyze": bench_micro_analyze,
+    "micro_detlint": bench_micro_detlint,
     "fig3_static": bench_fig3_static,
     "fig4_churn": bench_fig4_churn,
     "fig4_churn_transport": bench_fig4_churn_transport,

@@ -176,13 +176,13 @@ class HandCodedChordNode:
             self.fingers = {i: f for i, f in self.fingers.items() if f[1] not in dead}
             if self.predecessor is not None and self.predecessor[1] in dead:
                 self.predecessor = None
-            for addr in dead:
+            for addr in sorted(dead):
                 self._awaiting_pong.pop(addr, None)
         targets = {s[1] for s in self.successors} | {f[1] for f in self.fingers.values()}
         if self.predecessor is not None:
             targets.add(self.predecessor[1])
         targets.discard(self.address)
-        for addr in targets:
+        for addr in sorted(targets):
             self._awaiting_pong.setdefault(addr, self.loop.now)
             self._send(addr, Tuple.make(MSG_PING, addr, self.address, fresh_tuple_id()))
         self._schedule(self.ping_period, self._ping_tick)

@@ -50,7 +50,9 @@ class Tuple:
         # Precomputed: tuples are hashed on every table insert/lookup and as
         # index keys, so paying the hash once at construction keeps the table
         # hot path free of the lazy-initialisation branch.
-        object.__setattr__(self, "_hash", hash((name, coerced)))
+        # The hash is an in-process dict/set key only: it never feeds seeds,
+        # persisted state, or cross-process ordering (those sort on fields).
+        object.__setattr__(self, "_hash", hash((name, coerced)))  # det: allow(DET002): in-process key only
 
     # -- construction helpers -------------------------------------------------
     @classmethod

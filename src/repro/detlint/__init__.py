@@ -1,0 +1,76 @@
+"""detlint — a determinism & concurrency-safety static analyzer for the engine.
+
+The repo's core claim — faulted, sharded, optimized runs are *bit-identical*
+to the single-loop baseline — rests on engine-wide conventions that, before
+this package, nothing checked: simulated time comes only from the event loop,
+every RNG stream is seeded from explicit, process-stable keys, iteration over
+hash-ordered containers is sorted before it can reach the wire, and fault
+state mutates only inside control-loop events.  ``detlint`` turns the PR 6
+diagnostics machinery (:mod:`repro.overlog.diagnostics`) on the engine's own
+Python: an :mod:`ast`-based whole-repo pass (stdlib only) that enforces those
+contracts as a stable ``DET0xx`` diagnostic family — the same
+``Span``/``Diagnostic``/``render_report`` model, rustc-style reports, and
+in-source suppression pragmas the Overlog front end already uses.
+
+Diagnostic codes (stable; tests golden-match them):
+
+========  ========  ==================================================
+code      severity  meaning
+========  ========  ==================================================
+DET000    error     source file could not be parsed (CLI only)
+DET001    error     wall-clock or OS-entropy source in simulation code
+                    (``time.time``/``perf_counter``/``datetime.now``/
+                    ``os.urandom``/``uuid.uuid1|4``/...); simulated
+                    time must come from the event loop's clock
+DET002    error     builtin ``hash()`` of a non-numeric value; string
+                    and bytes hashes vary per process under
+                    ``PYTHONHASHSEED`` and must never feed RNG seeds,
+                    orderings, or persisted keys
+DET003    error     RNG discipline: draws on the module-global
+                    ``random.*`` state, ``random.Random()`` seeded
+                    from OS entropy (no argument), or a seed
+                    expression that is not an explicit parameter /
+                    stable key (the ``f"{seed}:{src}"`` stream idiom)
+DET004    error     iterating a ``set``/``frozenset`` without
+                    ``sorted()`` in a function that transitively
+                    reaches an event-posting or send sink; hash order
+                    is process-dependent and must not reach the wire
+DET005    error     fault/link-conditioner state mutated outside the
+                    control plane; mutators must be reachable only
+                    from control-loop entry points (lookahead barriers
+                    under the sharded driver)
+DET006    error     suppression pragma is malformed or carries no
+                    justification (never itself suppressible)
+DET007    warning   suppression pragma matched no finding (stale)
+========  ========  ==================================================
+
+Intentional findings are suppressed inline, mirroring ``olg:allow``::
+
+    self._hash = hash((name, fields))  # det: allow(DET002): in-process only
+
+    # det: allow(DET001, file): timing harness; wall-clock is the product
+
+The first form scopes to its source line; the ``file`` form scopes to the
+whole file.  Every pragma must carry a one-line justification after the
+closing parenthesis — an unjustified pragma is itself a ``DET006`` error, so
+``--strict`` *and* default runs keep the audit trail honest.
+
+Command line: ``python -m repro.detlint [paths ...] [--strict]`` — exit 0
+when clean, 1 when any finding is fatal (errors always; warnings too under
+``--strict``), 2 on usage or I/O errors, exactly like
+``python -m repro.overlog.check``.  With no paths it lints the installed
+``repro`` package.  ``make lint-py`` runs it strict over ``src/repro`` and
+``benchmarks/`` as part of the ``make bench`` chain.
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig
+from .engine import FileLintResult, lint_paths, lint_source
+
+__all__ = [
+    "LintConfig",
+    "FileLintResult",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,203 @@
+"""A lightweight name-based call graph over the linted files.
+
+The graph is deliberately simple: every function/method definition (including
+nested defs; lambdas are attributed to their enclosing def) becomes a node,
+and a call expression ``foo(...)``, ``x.foo(...)`` or ``Class(...)`` adds an
+edge from the enclosing function to the *simple name* ``foo`` (``Class`` maps
+to ``Class.__init__``).  Name-based resolution over-approximates — every
+function named ``process`` is reachable from every ``x.process()`` call —
+which is exactly the right bias for a determinism lint: reachability answers
+"could hash order leak to the wire?", and a false "yes" costs one
+``sorted()`` while a false "no" costs a divergent run.
+
+Two queries feed the passes:
+
+* :meth:`CallGraph.reaching` — all functions from which any of a set of sink
+  *names* is transitively callable (DET004's emit-reaching set);
+* :meth:`CallGraph.root_callers` — the entry-point functions from which a
+  given function is transitively callable (DET005's "reachable only from the
+  control plane" check).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..overlog.diagnostics import Span
+
+
+def span_of(node: ast.AST) -> Span:
+    """The 1-based source span of an AST node (columns are 1-based too)."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    return Span(
+        node.lineno,
+        node.col_offset + 1,
+        end_line,
+        end_col + 1 if end_col is not None else None,
+    )
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the linted set."""
+
+    qualname: str  # "<file>::Class.method" / "<file>::func" / nested "a.b"
+    name: str  # simple name ("method")
+    file: str
+    span: Span
+    class_name: Optional[str] = None  # innermost enclosing class, if any
+    #: simple names this function's body calls (lambdas included)
+    called_names: Set[str] = field(default_factory=set)
+
+
+class _FunctionCollector(ast.NodeVisitor):
+    """Walks one module and records every def plus its called names."""
+
+    def __init__(self, file: str):
+        self.file = file
+        self.functions: List[FunctionInfo] = []
+        self._class_stack: List[str] = []
+        self._func_stack: List[FunctionInfo] = []
+
+    # -- scope bookkeeping ---------------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _enter_function(self, node) -> None:
+        parts = []
+        if self._func_stack:
+            parts.append(self._func_stack[-1].qualname.split("::", 1)[1])
+        elif self._class_stack:
+            parts.append(".".join(self._class_stack))
+        parts.append(node.name)
+        qualname = f"{self.file}::{'.'.join(parts)}"
+        info = FunctionInfo(
+            qualname=qualname,
+            name=node.name,
+            file=self.file,
+            span=span_of(node),
+            class_name=self._class_stack[-1] if self._class_stack else None,
+        )
+        self.functions.append(info)
+        self._func_stack.append(info)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _enter_function
+    visit_AsyncFunctionDef = _enter_function
+
+    # -- call edges ----------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._func_stack:
+            name = _called_simple_name(node.func)
+            if name is not None:
+                self._func_stack[-1].called_names.add(name)
+        self.generic_visit(node)
+
+
+def _called_simple_name(func: ast.expr) -> Optional[str]:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+class CallGraph:
+    """Name-based call graph over every function of the linted files."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.by_name: Dict[str, List[str]] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_module(self, file: str, tree: ast.Module) -> List[FunctionInfo]:
+        collector = _FunctionCollector(file)
+        collector.visit(tree)
+        for info in collector.functions:
+            # Class constructors: a call to `Class(...)` is recorded as the
+            # simple name `Class`; alias the __init__ under that name so the
+            # edge resolves to the constructor body.
+            self.functions[info.qualname] = info
+            self.by_name.setdefault(info.name, []).append(info.qualname)
+            if info.name == "__init__" and info.class_name is not None:
+                self.by_name.setdefault(info.class_name, []).append(info.qualname)
+        return collector.functions
+
+    # -- queries -------------------------------------------------------------
+    def reaching(self, sink_names: FrozenSet[str]) -> Set[str]:
+        """Qualnames of functions that are, or transitively call, a sink.
+
+        A function whose own simple name is a sink name is a sink (it is the
+        sink's implementation); a function calling a sink name — or calling
+        any function already in the reaching set — joins the set.  Runs to a
+        fixpoint; linear in edges per round, a handful of rounds in practice.
+        """
+        reach: Set[str] = {
+            q for q, info in self.functions.items() if info.name in sink_names
+        }
+        changed = True
+        while changed:
+            changed = False
+            for qualname, info in self.functions.items():
+                if qualname in reach:
+                    continue
+                if info.called_names & sink_names:
+                    reach.add(qualname)
+                    changed = True
+                    continue
+                for called in info.called_names:
+                    if any(q in reach for q in self.by_name.get(called, ())):
+                        reach.add(qualname)
+                        changed = True
+                        break
+        return reach
+
+    def callers_of(self, qualname: str) -> Set[str]:
+        """Every function from which *qualname* is transitively callable."""
+        target = self.functions.get(qualname)
+        if target is None:
+            return set()
+        # direct-caller index: name match between called_names and functions
+        wanted = {qualname}
+        changed = True
+        while changed:
+            changed = False
+            wanted_names = {self.functions[q].name for q in wanted}
+            for caller, info in self.functions.items():
+                if caller in wanted:
+                    continue
+                for called in info.called_names & wanted_names:
+                    if any(q in wanted for q in self.by_name.get(called, ())):
+                        wanted.add(caller)
+                        changed = True
+                        break
+        wanted.discard(qualname)
+        return wanted
+
+    def root_callers(self, qualname: str) -> Set[str]:
+        """The entry points from which *qualname* is transitively callable.
+
+        A root is a transitive caller that no linted function calls in turn
+        (an external entry point: test harness, CLI, event-loop callback).
+        When nothing calls *qualname* at all, the function is its own root.
+        """
+        callers = self.callers_of(qualname)
+        if not callers:
+            return {qualname}
+        called_anywhere: Set[str] = set()
+        for info in self.functions.values():
+            for called in info.called_names:
+                called_anywhere.update(self.by_name.get(called, ()))
+        roots = {q for q in callers if q not in called_anywhere}
+        # every caller is itself called by something: the cycle's members are
+        # the best notion of "entry" available — report them all
+        return roots or callers
+
+    def info(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)

@@ -1,0 +1,73 @@
+"""Command-line entry point: ``python -m repro.detlint [paths] [--strict]``.
+
+Mirrors ``python -m repro.overlog.check``: rustc-style caret reports per
+file, a one-line summary, exit 0 when nothing is fatal, 1 when findings are
+fatal (errors always; warnings too under ``--strict``), 2 on usage or I/O
+errors.  With no paths it lints the installed ``repro`` package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..overlog.diagnostics import render_report, summarize
+from .engine import lint_paths
+
+
+def _default_paths() -> List[str]:
+    import repro
+
+    return [str(Path(repro.__file__).parent)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.detlint",
+        description=(
+            "Determinism & concurrency-safety lint for the engine's own "
+            "Python (DET0xx diagnostics)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as fatal",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths or _default_paths()
+    try:
+        results = lint_paths(paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    all_diags = []
+    for result in results:
+        if not result.diagnostics:
+            continue
+        print(render_report(result.diagnostics, result.path, result.source))
+        all_diags.extend(result.diagnostics)
+
+    n_files = len(results)
+    if not all_diags:
+        print(f"{n_files} file{'s' if n_files != 1 else ''} checked: clean")
+        return 0
+    print(f"{n_files} file{'s' if n_files != 1 else ''} checked: {summarize(all_diags)}")
+    fatal = any(d.is_error for d in all_diags) or (args.strict and all_diags)
+    return 1 if fatal else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

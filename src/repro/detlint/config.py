@@ -1,0 +1,159 @@
+"""Configuration of the determinism contracts detlint enforces.
+
+Everything the passes treat as "known" lives here as plain data: the
+wall-clock and entropy sources DET001 forbids, the calls a ``Random(...)``
+seed expression may contain and still count as process-stable (DET003), the
+iteration contexts and order-insensitive consumers DET004 reasons about, and
+the set-typed annotations its inference recognises.  The sink and
+control-plane registries live next door in :mod:`repro.detlint.sinks`; both
+are injected through one :class:`LintConfig` so tests (and future callers)
+can tighten or relax individual contracts without touching the passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from . import sinks
+
+#: Canonical dotted names of wall-clock and OS-entropy sources (DET001).
+#: Matched after import/alias resolution, so ``from time import perf_counter
+#: as pc`` and ``t0 = time.perf_counter`` are both seen through.
+FORBIDDEN_TIME_SOURCES: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.urandom",
+        "os.getrandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.token_urlsafe",
+        "secrets.randbelow",
+        "secrets.randbits",
+        "secrets.choice",
+        "random.SystemRandom",
+    }
+)
+
+#: Methods that draw from (or reseed) the module-global ``random`` state
+#: (DET003): one hidden RNG shared by everything in the process, so draw
+#: order — and therefore every downstream value — depends on global
+#: interleaving instead of on per-stream keys.
+GLOBAL_RNG_DRAWS: FrozenSet[str] = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "getstate",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "setstate",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+#: Dotted callables a ``Random(...)`` seed expression may contain and still
+#: count as process-stable (DET003).  ``zlib.crc32`` is the blessed way to
+#: fold a string into a stable integer seed (see ``runtime/node.py``).
+SAFE_SEED_CALLS: FrozenSet[str] = frozenset(
+    {
+        "zlib.crc32",
+        "zlib.adler32",
+        "abs",
+        "float",
+        "int",
+        "len",
+        "max",
+        "min",
+        "ord",
+        "round",
+        "str",
+        "repr",
+        "tuple",
+    }
+)
+
+#: Method names (attribute calls on arbitrary receivers) allowed inside a
+#: seed expression: string plumbing whose result is content-determined.
+SAFE_SEED_METHODS: FrozenSet[str] = frozenset(
+    {"encode", "format", "join", "lower", "upper", "strip"}
+)
+
+#: Annotation heads the set-type inference recognises (DET004); bare names
+#: and ``typing.``/``t.``-qualified forms are both matched by suffix.
+SET_ANNOTATIONS: FrozenSet[str] = frozenset(
+    {"set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet"}
+)
+
+#: Methods that return a new set when called on a known set receiver.
+SET_PRODUCING_METHODS: FrozenSet[str] = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Call heads that consume an iterable *as an ordered stream* (DET004):
+#: iterating a raw set through any of these leaks hash order.
+ORDER_SENSITIVE_CONSUMERS: FrozenSet[str] = frozenset(
+    {"list", "tuple", "iter", "enumerate", "reversed", "map", "filter", "zip"}
+)
+
+#: Method names that splice an iterable into an ordered container.
+ORDER_SENSITIVE_METHODS: FrozenSet[str] = frozenset({"extend", "join"})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """One bundle of every registry the passes consult.
+
+    The defaults describe this engine; tests construct variants (e.g. a
+    single extra sink name) to exercise the passes in isolation.
+    """
+
+    time_sources: FrozenSet[str] = FORBIDDEN_TIME_SOURCES
+    global_rng_draws: FrozenSet[str] = GLOBAL_RNG_DRAWS
+    safe_seed_calls: FrozenSet[str] = SAFE_SEED_CALLS
+    safe_seed_methods: FrozenSet[str] = SAFE_SEED_METHODS
+    set_annotations: FrozenSet[str] = SET_ANNOTATIONS
+    set_producing_methods: FrozenSet[str] = SET_PRODUCING_METHODS
+    order_sensitive_consumers: FrozenSet[str] = ORDER_SENSITIVE_CONSUMERS
+    order_sensitive_methods: FrozenSet[str] = ORDER_SENSITIVE_METHODS
+    #: method names whose call makes a function an emit/send sink (DET004)
+    sink_names: FrozenSet[str] = field(default_factory=lambda: sinks.SINK_NAMES)
+    #: method names that mutate fault/link-conditioner state (DET005)
+    mutator_names: FrozenSet[str] = field(default_factory=lambda: sinks.MUTATOR_NAMES)
+    #: classes whose methods form the control plane (DET005)
+    control_plane_classes: FrozenSet[str] = field(
+        default_factory=lambda: sinks.CONTROL_PLANE_CLASSES
+    )
+
+
+DEFAULT_CONFIG = LintConfig()

@@ -1,0 +1,130 @@
+"""The two-phase lint driver.
+
+Phase one parses every ``.py`` file (sorted, so output order never depends
+on filesystem enumeration) and builds the whole-repo call graph plus the
+emit-reaching function set.  Phase two runs the :class:`ModuleLint` passes
+per file with that global context, applies the file's pragmas, and returns
+one :class:`FileLintResult` per file — source included, so callers can
+render caret reports without re-reading disk.
+
+``lint_source`` is the single-string convenience used by the golden tests:
+same pipeline, one in-memory file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..overlog.diagnostics import Diagnostic, DiagnosticCollector, Span
+from .callgraph import CallGraph
+from .config import DEFAULT_CONFIG, LintConfig
+from .passes import ModuleLint
+from .pragmas import apply_pragmas, collect_pragmas
+
+
+@dataclass
+class FileLintResult:
+    """Lint outcome for one file: its path, source text, and findings."""
+
+    path: str
+    source: str
+    diagnostics: List[Diagnostic]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.is_error for d in self.diagnostics)
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Every ``.py`` file under *paths*, sorted, deduplicated.
+
+    A path that is itself a ``.py`` file is taken as-is; directories are
+    walked recursively.  Missing paths raise ``FileNotFoundError`` so the
+    CLI can exit 2 the way ``repro.overlog.check`` does.
+    """
+    out = []
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates: Iterable[Path] = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            key = str(candidate)
+            if key not in seen:
+                seen.add(key)
+                out.append(candidate)
+    return out
+
+
+def _lint_parsed(
+    files: Sequence[Tuple[str, str, Optional[ast.Module], Optional[SyntaxError]]],
+    config: LintConfig,
+) -> List[FileLintResult]:
+    """Shared back half: call graph, passes, pragmas, sort."""
+    graph = CallGraph()
+    for name, _source, tree, _err in files:
+        if tree is not None:
+            graph.add_module(name, tree)
+    emit_reaching = graph.reaching(config.sink_names)
+
+    results: List[FileLintResult] = []
+    for name, source, tree, err in files:
+        if tree is None:
+            span = Span(err.lineno or 1, (err.offset or 1)) if err else Span(1, 1)
+            sink = DiagnosticCollector()
+            sink.error(
+                "DET000",
+                f"could not parse file: {err.msg if err else 'unknown error'}",
+                span,
+            )
+            results.append(FileLintResult(name, source, sink.diagnostics))
+            continue
+        lint = ModuleLint(
+            name, tree, config, graph=graph, emit_reaching=emit_reaching
+        )
+        raw = lint.run()
+        pragmas, pragma_errors = collect_pragmas(source)
+        diags = apply_pragmas(raw, pragmas) + pragma_errors
+        collector = DiagnosticCollector()
+        collector.diagnostics.extend(diags)
+        results.append(FileLintResult(name, source, collector.sorted()))
+    return results
+
+
+def lint_paths(
+    paths: Sequence[str], config: LintConfig = DEFAULT_CONFIG
+) -> List[FileLintResult]:
+    """Lint every ``.py`` file under *paths* with whole-set reachability."""
+    files: List[Tuple[str, str, Optional[ast.Module], Optional[SyntaxError]]] = []
+    for path in iter_python_files(paths):
+        name = str(path)
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree: Optional[ast.Module] = ast.parse(source, filename=name)
+            err: Optional[SyntaxError] = None
+        except SyntaxError as exc:
+            tree, err = None, exc
+        files.append((name, source, tree, err))
+    return _lint_parsed(files, config)
+
+
+def lint_source(
+    source: str,
+    filename: str = "<lint>",
+    config: LintConfig = DEFAULT_CONFIG,
+) -> List[Diagnostic]:
+    """Lint one in-memory module; the call graph covers just this file."""
+    try:
+        tree: Optional[ast.Module] = ast.parse(source, filename=filename)
+        err: Optional[SyntaxError] = None
+    except SyntaxError as exc:
+        tree, err = None, exc
+    results = _lint_parsed([(filename, source, tree, err)], config)
+    return results[0].diagnostics

@@ -1,0 +1,566 @@
+"""The DET001–DET005 AST passes.
+
+One :class:`ModuleLint` visits one parsed file; whole-repo context (the
+name-based call graph and the emit-reaching function set derived from the
+sink registry) is injected by the engine.  All detection is syntactic plus a
+flow-insensitive alias/type approximation:
+
+* **imports and aliases** — ``import time as _t``, ``from time import
+  perf_counter as pc`` and simple assignment aliases (``pc = _t.
+  perf_counter``) are resolved to canonical dotted names before matching, so
+  renaming cannot hide a wall-clock call;
+* **set-typed names** — inferred from ``set``/``frozenset`` literals, set
+  comprehensions, set-producing method calls, set algebra (``|&-^`` over a
+  known set), and annotations (``Set[...]``, ``frozenset`` …) on locals,
+  parameters, module globals, and ``self.*`` attributes (collected per
+  class across all its methods);
+* **emit-reachability** — a function iterating a raw set is only a DET004
+  finding when the call graph says hash order could reach an event-posting
+  or send sink from there.
+
+The passes are deliberately over-approximate (see ``sinks.py`` for why) and
+every finding carries the precise span of the offending expression so the
+``render_report`` carets land on it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..overlog.diagnostics import DiagnosticCollector
+from .callgraph import CallGraph, span_of
+from .config import LintConfig
+
+#: Modules whose attributes the alias resolver follows.  Anything else a
+#: dotted chain starts from (``self``, locals, …) resolves to None.
+_KNOWN_ROOTS = frozenset(
+    {"time", "datetime", "os", "uuid", "random", "secrets", "zlib", "hashlib"}
+)
+
+
+class _Aliases:
+    """Flow-insensitive name → canonical-dotted-origin map for one module."""
+
+    def __init__(self) -> None:
+        self.names: Dict[str, str] = {}
+        #: names bound by imports/assignments — builtins they shadow
+        self.shadowed: Set[str] = set()
+
+    def learn_import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            root = alias.name.split(".", 1)[0]
+            bound = alias.asname or root
+            self.shadowed.add(bound)
+            if root in _KNOWN_ROOTS:
+                # `import a.b` binds `a`; `import a.b as c` binds c -> a.b
+                self.names[bound] = alias.name if alias.asname else root
+
+    def learn_import_from(self, node: ast.ImportFrom) -> None:
+        if node.module is None or node.level:
+            for alias in node.names:
+                self.shadowed.add(alias.asname or alias.name)
+            return
+        root = node.module.split(".", 1)[0]
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            self.shadowed.add(bound)
+            if root in _KNOWN_ROOTS:
+                self.names[bound] = f"{node.module}.{alias.name}"
+
+    def learn_assignment(self, target: str, value: ast.expr) -> None:
+        self.shadowed.add(target)
+        resolved = self.resolve(value)
+        if resolved is not None:
+            self.names[target] = resolved
+
+    def resolve(self, expr: ast.expr) -> Optional[str]:
+        """Canonical dotted name of *expr*, when it leads back to a module.
+
+        ``datetime.now`` with ``from datetime import datetime`` resolves to
+        ``datetime.datetime.now``; ``self.loop.schedule`` resolves to None.
+        """
+        parts: List[str] = []
+        node = expr
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = self.names.get(node.id)
+        if base is None:
+            return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+
+def _annotation_is_set(annotation: ast.expr, set_annotations: FrozenSet[str]) -> bool:
+    """True for ``set``, ``Set[...]``, ``typing.FrozenSet[str]`` and friends."""
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in set_annotations
+    if isinstance(node, ast.Name):
+        return node.id in set_annotations
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        # string annotation: match the head before any '['
+        head = node.value.split("[", 1)[0].strip()
+        return head.rsplit(".", 1)[-1] in set_annotations
+    return False
+
+
+def _is_set_literal_like(expr: ast.expr) -> bool:
+    """Syntactic set constructions, independent of any name environment."""
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in ("set", "frozenset")
+    return False
+
+
+class _ModuleIndex(ast.NodeVisitor):
+    """One traversal collecting everything the passes need pre-computed.
+
+    A module is visited several logical times (aliases, class attributes,
+    per-function set bindings, then the passes proper); folding the first
+    three into one sweep keeps whole-repo lint time — which ``make bench``
+    pays on every run — linear with a small constant.  Collected here:
+
+    * import/assignment aliases (assignments applied after the sweep, so an
+      alias textually preceding its import still resolves);
+    * per class, the ``self.X`` attributes that are sets (attributed to the
+      innermost class — the one ``self`` refers to);
+    * per scope (module body or innermost function), the ``Assign`` /
+      ``AnnAssign`` statements, in source order, for set-name inference.
+    """
+
+    def __init__(self, tree: ast.Module, config: LintConfig):
+        self.config = config
+        self.aliases = _Aliases()
+        self.class_set_attrs: Dict[str, Set[str]] = {}
+        #: key: id() of the innermost enclosing function node, None for the
+        #: module body.  Values are binding statements in source order.
+        self.bindings: Dict[Optional[int], List[ast.stmt]] = {None: []}
+        self._deferred_assigns: List[ast.Assign] = []
+        self._class_stack: List[str] = []
+        self._func_stack: List[int] = []
+        self.visit(tree)
+        for node in self._deferred_assigns:
+            self.aliases.learn_assignment(node.targets[0].id, node.value)
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.aliases.learn_import(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.aliases.learn_import_from(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        self.bindings[id(node)] = []
+        self._func_stack.append(id(node))
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                self._deferred_assigns.append(node)
+            self._record(node, target, _is_set_literal_like(node.value))
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(
+            node,
+            node.target,
+            _annotation_is_set(node.annotation, self.config.set_annotations),
+        )
+        self.generic_visit(node)
+
+    def _record(self, node: ast.stmt, target: ast.expr, is_set: bool) -> None:
+        key = self._func_stack[-1] if self._func_stack else None
+        self.bindings[key].append(node)
+        if (
+            is_set
+            and self._class_stack
+            and isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            self.class_set_attrs.setdefault(self._class_stack[-1], set()).add(
+                target.attr
+            )
+
+
+class ModuleLint(ast.NodeVisitor):
+    """Runs every DET pass over one parsed module."""
+
+    def __init__(
+        self,
+        file: str,
+        tree: ast.Module,
+        config: LintConfig,
+        graph: Optional[CallGraph] = None,
+        emit_reaching: Optional[Set[str]] = None,
+    ):
+        self.file = file
+        self.tree = tree
+        self.config = config
+        self.graph = graph
+        self.emit_reaching = emit_reaching if emit_reaching is not None else set()
+        self.sink = DiagnosticCollector()
+        self._index = _ModuleIndex(tree, config)
+        self.aliases = self._index.aliases
+        self.class_set_attrs = self._index.class_set_attrs
+        #: module-level names bound to sets (visible in every function)
+        self.global_set_names: Set[str] = set()
+        self._class_stack: List[str] = []
+        #: (qualname-part, local set names) per enclosing function
+        self._func_stack: List[Tuple[str, Set[str]]] = []
+
+    # -- driver ---------------------------------------------------------------
+    def run(self) -> List:
+        for stmt in self._index.bindings[None]:
+            self._learn_set_binding(stmt, self.global_set_names)
+        self.visit(self.tree)
+        return self.sink.diagnostics
+
+    # -- scope tracking -------------------------------------------------------
+    def _qualname(self, name: str) -> str:
+        if self._func_stack:
+            return f"{self._func_stack[-1][0]}.{name}"
+        if self._class_stack:
+            return f"{'.'.join(self._class_stack)}.{name}"
+        return name
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        local_sets: Set[str] = set()
+        args = node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if arg.annotation is not None and _annotation_is_set(
+                arg.annotation, self.config.set_annotations
+            ):
+                local_sets.add(arg.arg)
+        for stmt in self._index.bindings.get(id(node), ()):
+            self._learn_set_binding(stmt, local_sets)
+        self._func_stack.append((self._qualname(node.name), local_sets))
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _learn_set_binding(self, stmt: ast.stmt, into: Set[str]) -> None:
+        """Record `name = <set expr>` / `name: Set[...]` bindings."""
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if _annotation_is_set(stmt.annotation, self.config.set_annotations):
+                into.add(stmt.target.id)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and self._is_set_expr(
+                stmt.value, into
+            ):
+                into.add(target.id)
+
+    # -- set-type inference ---------------------------------------------------
+    def _is_set_expr(self, expr: ast.expr, extra_locals: Optional[Set[str]] = None) -> bool:
+        locals_ = extra_locals
+        if locals_ is None and self._func_stack:
+            locals_ = self._func_stack[-1][1]
+        if isinstance(expr, ast.Name):
+            if locals_ is not None and expr.id in locals_:
+                return True
+            return expr.id in self.global_set_names
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                for cls in reversed(self._class_stack):
+                    if expr.attr in self.class_set_attrs.get(cls, ()):
+                        return True
+            return False
+        if _is_set_literal_like(expr):
+            return True
+        if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+            return (
+                expr.func.attr in self.config.set_producing_methods
+                and self._is_set_expr(expr.func.value, extra_locals)
+            )
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(expr.left, extra_locals) or self._is_set_expr(
+                expr.right, extra_locals
+            )
+        if isinstance(expr, ast.IfExp):
+            return self._is_set_expr(expr.body, extra_locals) or self._is_set_expr(
+                expr.orelse, extra_locals
+            )
+        return False
+
+    # -- shared helpers -------------------------------------------------------
+    def _resolved(self, func: ast.expr) -> Optional[str]:
+        return self.aliases.resolve(func)
+
+    def _in_emit_reaching_function(self) -> bool:
+        if not self._func_stack:
+            return False
+        qualname = f"{self.file}::{self._func_stack[-1][0]}"
+        return qualname in self.emit_reaching
+
+    def _enclosing_qualname(self) -> Optional[str]:
+        if not self._func_stack:
+            return None
+        return f"{self.file}::{self._func_stack[-1][0]}"
+
+    def _in_control_plane(self) -> bool:
+        return any(
+            cls in self.config.control_plane_classes for cls in self._class_stack
+        )
+
+    # -- the call-site dispatcher --------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self._resolved(node.func)
+        self._check_det001(node, resolved)
+        self._check_det002(node)
+        self._check_det003(node, resolved)
+        self._check_det004_call(node)
+        self._check_det005(node)
+        self.generic_visit(node)
+
+    # -- DET001: wall clock / entropy ----------------------------------------
+    def _check_det001(self, node: ast.Call, resolved: Optional[str]) -> None:
+        if resolved in self.config.time_sources:
+            self.sink.error(
+                "DET001",
+                f"call to wall-clock/entropy source {resolved!r} in simulation "
+                "code; simulated time and randomness must come from the event "
+                "loop clock and seeded per-stream RNGs",
+                span_of(node),
+                subject=resolved,
+            )
+
+    # -- DET002: PYTHONHASHSEED hazards --------------------------------------
+    def _check_det002(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Name) and func.id == "hash"):
+            return
+        if "hash" in self.aliases.shadowed:
+            return  # locally rebound; not the builtin
+        if len(node.args) == 1 and isinstance(node.args[0], ast.Constant):
+            value = node.args[0].value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return  # hash of a numeric constant is process-stable
+        self.sink.error(
+            "DET002",
+            "builtin hash() of a non-numeric value varies per process under "
+            "PYTHONHASHSEED; derive stable keys with zlib.crc32/hashlib "
+            "instead of feeding this into seeds, orderings, or stored keys",
+            span_of(node),
+            subject="hash",
+        )
+
+    # -- DET003: RNG discipline ----------------------------------------------
+    def _check_det003(self, node: ast.Call, resolved: Optional[str]) -> None:
+        config = self.config
+        if resolved is not None and resolved.startswith("random."):
+            tail = resolved.split(".", 1)[1]
+            if tail in config.global_rng_draws:
+                self.sink.error(
+                    "DET003",
+                    f"{resolved!r} uses the module-global RNG; draw order then "
+                    "depends on whole-process interleaving — use a "
+                    "random.Random instance seeded from an explicit key",
+                    span_of(node),
+                    subject=resolved,
+                )
+                return
+            if tail == "Random":
+                self._check_seed_expression(node)
+                return
+        # rng.seed(...) on an instance: the seed expression must be stable
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "seed"
+            and resolved is None
+            and node.args
+        ):
+            self._flag_unsafe_seed_parts(node.args[0])
+
+    def _check_seed_expression(self, node: ast.Call) -> None:
+        if not node.args and not node.keywords:
+            self.sink.error(
+                "DET003",
+                "random.Random() without a seed draws from OS entropy; pass "
+                "an explicit parameter or a keyed stream name "
+                '(the f"{seed}:{src}" idiom)',
+                span_of(node),
+                subject="random.Random",
+            )
+            return
+        for arg in list(node.args) + [kw.value for kw in node.keywords]:
+            self._flag_unsafe_seed_parts(arg)
+
+    def _flag_unsafe_seed_parts(self, seed_expr: ast.expr) -> None:
+        """Flag calls inside a seed expression that are not process-stable.
+
+        Names, attributes, constants, arithmetic, conditionals, and keyed
+        f-strings are all stable; a call is stable only when whitelisted
+        (``zlib.crc32``, ``str.encode``, ``int``, …).  ``hash()`` gets the
+        pointed message — it is the one that bit this engine.
+        """
+        config = self.config
+        for sub in ast.walk(seed_expr):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            resolved = self._resolved(func)
+            if resolved is not None and resolved in config.safe_seed_calls:
+                continue
+            if isinstance(func, ast.Name):
+                if func.id == "hash" and "hash" not in self.aliases.shadowed:
+                    self.sink.error(
+                        "DET003",
+                        "RNG seeded from builtin hash(); the stream differs "
+                        "per process under PYTHONHASHSEED — use "
+                        "zlib.crc32(...) or an explicit parameter",
+                        span_of(sub),
+                        subject="hash",
+                    )
+                    continue
+                if (
+                    func.id in config.safe_seed_calls
+                    and func.id not in self.aliases.shadowed
+                ):
+                    continue
+            if isinstance(func, ast.Attribute) and func.attr in config.safe_seed_methods:
+                continue
+            if resolved is not None and resolved.startswith("random."):
+                continue  # random.* inside a seed is reported by its own pass
+            name = resolved or (
+                func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "<call>")
+            )
+            self.sink.error(
+                "DET003",
+                f"RNG seed expression calls {name!r}, which is not on the "
+                "process-stable whitelist; seed from an explicit parameter, "
+                'a keyed f-string stream, or zlib.crc32 of stable bytes',
+                span_of(sub),
+                subject=name,
+            )
+
+    # -- DET004: set iteration on emit-reaching paths ------------------------
+    def _check_det004_call(self, node: ast.Call) -> None:
+        config = self.config
+        func = node.func
+        candidates: Sequence[ast.expr] = ()
+        if isinstance(func, ast.Name) and func.id in config.order_sensitive_consumers:
+            if func.id == "map":
+                candidates = node.args[1:]
+            elif func.id == "zip":
+                candidates = node.args
+            elif node.args:
+                candidates = node.args[:1]
+        elif isinstance(func, ast.Attribute) and func.attr in config.order_sensitive_methods:
+            if node.args:
+                candidates = node.args[:1]
+        for arg in candidates:
+            self._flag_set_iteration(arg, f"passed to {_describe_callee(func)}()")
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                self._flag_set_iteration(arg.value, "unpacked into a call")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._flag_set_iteration(node.iter, "iterated by a for loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._flag_set_iteration(gen.iter, "iterated by a comprehension")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # set -> set comprehensions keep hash order contained; the result is
+        # checked wherever it is in turn iterated
+        self.generic_visit(node)
+
+    def _flag_set_iteration(self, expr: ast.expr, how: str) -> None:
+        if not self._is_set_expr(expr):
+            return
+        if not self._in_emit_reaching_function():
+            return
+        self.sink.error(
+            "DET004",
+            f"set {how} without sorted() in a function that reaches an "
+            "event-posting/send sink; hash order is process-dependent and "
+            "must not decide wire or event order",
+            span_of(expr),
+            subject=_describe_iterable(expr),
+        )
+
+    # -- DET005: control-plane mutation --------------------------------------
+    def _check_det005(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in self.config.mutator_names:
+            return
+        if self._in_control_plane():
+            return
+        qualname = self._enclosing_qualname()
+        where = "at module level"
+        roots: List[str] = []
+        if qualname is not None:
+            where = f"in {self._func_stack[-1][0]!r}"
+            if self.graph is not None:
+                root_set = self.graph.root_callers(qualname)
+                ok = bool(root_set)
+                for root in sorted(root_set):
+                    info = self.graph.info(root)
+                    if info is None or info.class_name not in self.config.control_plane_classes:
+                        ok = False
+                        roots.append(root.split("::", 1)[-1])
+                if ok:
+                    return  # only control-plane entry points reach this site
+        via = f" (reachable from {', '.join(sorted(roots))})" if roots else ""
+        self.sink.error(
+            "DET005",
+            f"fault/conditioner state mutated through {func.attr!r} {where}, "
+            "outside the control plane; mutators must run as control-loop "
+            f"events (see sim/faults.py){via}",
+            span_of(node),
+            subject=func.attr,
+        )
+
+
+def _describe_callee(func: ast.expr) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return "<call>"
+
+
+def _describe_iterable(expr: ast.expr) -> Optional[str]:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None

@@ -1,0 +1,170 @@
+"""``# det: allow(...)`` suppression pragmas.
+
+Mirrors the Overlog front end's ``olg:allow`` comments, with one tightening:
+every pragma must carry a justification after the closing parenthesis —
+
+::
+
+    self._hash = hash((name, fields))  # det: allow(DET002): in-process only
+
+    # det: allow(DET001, file): timing harness; wall-clock is the product
+
+The first form suppresses matching findings on its own source line; the
+``file`` form suppresses them across the whole file.  A pragma with no
+justification, an unknown scope word, or a malformed code is itself a
+``DET006`` error (never suppressible — the pragma audit trail must stay
+honest), and a pragma that matched nothing is a ``DET007`` warning so stale
+allowances get cleaned up instead of silently masking future findings.
+
+Comments are found with :mod:`tokenize`, not a line scan, so ``det:`` inside
+string literals can never be misread as a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..overlog.diagnostics import Diagnostic, DiagnosticCollector, Span
+
+#: Matches the pragma inside a COMMENT token.  Groups: code, optional scope
+#: word, the rest (which must be ": <justification>").
+_PRAGMA_RE = re.compile(
+    r"det:\s*allow\(\s*(DET\d{3})\s*(?:,\s*([A-Za-z_]+)\s*)?\)\s*(.*)\s*$"
+)
+
+#: Looser probe: any comment carrying the directive prefix, so typos (a
+#: missing parenthesis, an ``ignore`` verb, a misspelled code) surface as
+#: DET006 instead of silently failing to suppress.
+_PRAGMA_PROBE_RE = re.compile(r"\bdet:\s*\w+")
+
+#: Codes a pragma may name.  DET000 (parse failure) and DET006/DET007 (the
+#: pragma system's own diagnostics) cannot be suppressed.
+SUPPRESSIBLE_CODES = frozenset({"DET001", "DET002", "DET003", "DET004", "DET005"})
+
+
+@dataclass
+class Pragma:
+    """One parsed ``det: allow`` comment."""
+
+    code: str
+    file_scope: bool
+    line: int
+    justification: str
+    span: Span
+    used: bool = field(default=False)
+
+
+def collect_pragmas(source: str) -> Tuple[List[Pragma], List[Diagnostic]]:
+    """Parse every pragma comment in *source*.
+
+    Returns the well-formed pragmas plus DET006 diagnostics for malformed
+    ones.  Tokenization errors are ignored here — the engine has already
+    reported the file as unparseable (DET000) before pragmas are consulted.
+    """
+    pragmas: List[Pragma] = []
+    sink = DiagnosticCollector()
+    if "det:" not in source:
+        return [], []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return [], []
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        text = tok.string.lstrip("#").strip()
+        if not _PRAGMA_PROBE_RE.search(text):
+            continue
+        line = tok.start[0]
+        span = Span(line, tok.start[1] + 1, tok.end[0], tok.end[1] + 1)
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            sink.error(
+                "DET006",
+                "malformed det: pragma; expected "
+                "'# det: allow(DET0xx[, file]): justification'",
+                span,
+            )
+            continue
+        code, scope, rest = match.group(1), match.group(2), match.group(3)
+        if code not in SUPPRESSIBLE_CODES:
+            sink.error(
+                "DET006",
+                f"pragma names {code!r}, which cannot be suppressed "
+                f"(allowed: {', '.join(sorted(SUPPRESSIBLE_CODES))})",
+                span,
+                subject=code,
+            )
+            continue
+        if scope is not None and scope != "file":
+            sink.error(
+                "DET006",
+                f"unknown pragma scope {scope!r}; the only scope word is "
+                "'file' (omit it for line scope)",
+                span,
+                subject=scope,
+            )
+            continue
+        justification = rest.lstrip(":").strip() if rest.startswith(":") else ""
+        if not justification:
+            sink.error(
+                "DET006",
+                f"pragma allows {code} without a justification; append "
+                "': <why this is safe>' after the closing parenthesis",
+                span,
+                subject=code,
+            )
+            continue
+        pragmas.append(
+            Pragma(
+                code=code,
+                file_scope=scope == "file",
+                line=line,
+                justification=justification,
+                span=span,
+            )
+        )
+    return pragmas, sink.diagnostics
+
+
+def apply_pragmas(
+    diagnostics: Sequence[Diagnostic], pragmas: List[Pragma]
+) -> List[Diagnostic]:
+    """Drop findings matched by a pragma; add DET007 for unused pragmas.
+
+    A line-scoped pragma matches findings whose span *starts* on its line; a
+    file-scoped pragma matches every finding of its code in the file.  All
+    matching pragmas are marked used (a line pragma is not starved by an
+    earlier file pragma of the same code).
+    """
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        if diag.code not in SUPPRESSIBLE_CODES:
+            kept.append(diag)
+            continue
+        matched = False
+        for pragma in pragmas:
+            if pragma.code != diag.code:
+                continue
+            if pragma.file_scope or pragma.line == diag.span.line:
+                pragma.used = True
+                matched = True
+        if not matched:
+            kept.append(diag)
+    sink = DiagnosticCollector()
+    for pragma in pragmas:
+        if not pragma.used:
+            sink.warning(
+                "DET007",
+                f"unused pragma: no {pragma.code} finding "
+                f"{'in this file' if pragma.file_scope else 'on this line'} "
+                "— remove it so it cannot mask a future finding",
+                pragma.span,
+                subject=pragma.code,
+            )
+    kept.extend(sink.diagnostics)
+    return kept

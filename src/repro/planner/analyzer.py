@@ -152,7 +152,9 @@ def _check_localized(rule: ast.Rule, sink: DiagnosticCollector) -> Optional[str]
             rule.span,
             subject=rule.head.name,
         )
-    return next(iter(locations), None)
+    # min(), not next(iter(...)): with several locations (already an OLG002
+    # error above) the representative must still be hash-order independent.
+    return min(locations) if locations else None
 
 
 def _bound_variables(rule: ast.Rule) -> Set[str]:

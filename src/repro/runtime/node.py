@@ -15,6 +15,7 @@ one is considered.
 from __future__ import annotations
 
 import random
+import zlib
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Sequence, Set
 
@@ -64,7 +65,10 @@ class P2Node:
         self.loop = loop
         self.shard = shard
         self.idspace = idspace or IdSpace()
-        self.rng = random.Random(seed if seed is not None else hash(address) & 0xFFFFFFFF)
+        # crc32, not hash(): the fallback seed must be stable across processes
+        # (PYTHONHASHSEED varies string hashes per run) or identical nodes in
+        # separate worker processes would draw divergent timer phases.
+        self.rng = random.Random(seed if seed is not None else zlib.crc32(address.encode()))
         self.builtins = make_builtins(extra_builtins)
         self.node_id = node_id
         self.alive = False

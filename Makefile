@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast test-faults test-planner lint lint-py bench bench-full check-pythonpath
+.PHONY: test test-fast test-faults test-planner test-reliable lint lint-py bench bench-full check-pythonpath
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -10,6 +10,12 @@ test:
 # partition/heal acceptance runs even when iterating with test-fast).
 test-faults:
 	$(PYTHON) -m pytest -x -q tests/test_faults.py
+
+# The reliable-delivery suite on its own: ack/retransmit/dedup unit tests,
+# the accrual failure detector, the cross-shard bit-identity regression, and
+# the slow chord loss-sweep acceptance (reliable=True dominates under loss).
+test-reliable:
+	$(PYTHON) -m pytest -x -q tests/test_reliable.py
 
 # The cost-based planner suite on its own: the optimize×fused differential
 # grid, plan unit tests, golden plan snapshots, and the slow full-run
@@ -55,7 +61,7 @@ LATEST_BENCH := $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -1)
 # The regression gate re-runs the (full-mode, seconds-cheap) micro benches
 # and fails on any >25% slowdown against the newest committed baseline; the
 # multi-second fig3/fig4 rows are gated when producing a full BENCH_PR file.
-bench: check-pythonpath test-faults test-planner test lint lint-py
+bench: check-pythonpath test-faults test-planner test-reliable test lint lint-py
 	$(PYTHON) -m benchmarks --quick
 ifneq ($(LATEST_BENCH),)
 	$(PYTHON) -m benchmarks --only micro --compare $(LATEST_BENCH)

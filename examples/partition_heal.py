@@ -24,6 +24,10 @@ def main() -> None:
     parser.add_argument("--partition-seconds", type=float, default=40.0)
     parser.add_argument("--shards", type=int, default=1,
                         help="event-loop shards; any value gives the same run")
+    parser.add_argument("--reliable", action="store_true",
+                        help="run over the ack/retransmit delivery layer; its "
+                             "failure detector suppresses sends into the "
+                             "partition instead of burning retries")
     args = parser.parse_args()
 
     print(f"Booting {args.nodes} nodes, stabilising, then splitting the ring "
@@ -33,6 +37,7 @@ def main() -> None:
         seed=args.seed,
         partition_duration=args.partition_seconds,
         shards=args.shards,
+        reliable=args.reliable,
     )
 
     print(f"partition at t={result.partition_at:.0f}s, "
@@ -46,6 +51,10 @@ def main() -> None:
         print(f"  t={t:6.0f}s  {phase:5s}  consistent={cf * 100:5.1f}%  {ring}")
 
     print(f"ring-split alarms while degraded: {result.ring_split_alarms}")
+    if args.reliable:
+        print(f"reliable layer: {result.retransmits} retransmits, "
+              f"{result.acks_sent} acks, {result.suppressed_sends} sends "
+              f"suppressed by the failure detector during the split")
     print(f"lookups: {result.lookups_issued} issued, "
           f"{result.lookups_completed} completed, "
           f"{result.lookups_failed} abandoned by the timeout sweep")

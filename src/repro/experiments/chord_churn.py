@@ -44,6 +44,13 @@ class ChurnChordResult:
     lookups_failed: int = 0
     #: departures that were crashes rather than graceful failures
     crash_events: int = 0
+    #: wire-unit counters of the reliability layer (all 0 when
+    #: ``reliable=False``; see net/reliable.py for the counter taxonomy)
+    retransmits: int = 0
+    acks_sent: int = 0
+    dupes_dropped: int = 0
+    suppressed_sends: int = 0
+    dead_endpoint_drops: int = 0
     #: monitor samples and alarms (None when the run had no monitors)
     robustness: Optional[RobustnessReport] = None
 
@@ -80,6 +87,7 @@ def run_churn_experiment(
     shards: int = 1,
     fused: bool = True,
     optimize: bool = True,
+    reliable: bool = False,
     crash: bool = False,
     faults=None,
     monitors: Sequence = (),
@@ -108,6 +116,7 @@ def run_churn_experiment(
         shards=shards,
         fused=fused,
         optimize=optimize,
+        reliable=reliable,
         faults=faults,
         monitors=monitors,
     )
@@ -181,5 +190,10 @@ def run_churn_experiment(
         datagrams_sent=sim.network.datagrams_sent,
         lookups_failed=len(tracker.failures()),
         crash_events=churn.stats.crashes,
+        retransmits=sim.network.retransmits,
+        acks_sent=sim.network.acks_sent,
+        dupes_dropped=sim.network.dupes_dropped,
+        suppressed_sends=sim.network.suppressed_sends,
+        dead_endpoint_drops=sim.network.dead_endpoint_drops,
         robustness=runner.report() if runner.monitors else None,
     )

@@ -96,6 +96,13 @@ class PartitionChordResult:
     completion_rate: float = 0.0
     unreachable_drops: int = 0
     messages_sent: int = 0
+    #: wire-unit counters of the reliability layer (all 0 when
+    #: ``reliable=False``; see net/reliable.py for the counter taxonomy)
+    retransmits: int = 0
+    acks_sent: int = 0
+    dupes_dropped: int = 0
+    suppressed_sends: int = 0
+    dead_endpoint_drops: int = 0
     robustness: Optional[RobustnessReport] = None
 
     def summary(self) -> Dict[str, float]:
@@ -136,6 +143,7 @@ def run_partition_experiment(
     shards: int = 1,
     fused: bool = True,
     optimize: bool = True,
+    reliable: bool = False,
 ) -> PartitionChordResult:
     """Boot and stabilise a ring, split it in two, heal, measure reconvergence.
 
@@ -169,6 +177,7 @@ def run_partition_experiment(
         shards=shards,
         fused=fused,
         optimize=optimize,
+        reliable=reliable,
     )
     sim = network.simulation
     sim.network.set_classifier(chord.classify_chord_traffic)
@@ -282,5 +291,10 @@ def run_partition_experiment(
         completion_rate=tracker.completion_rate(),
         unreachable_drops=controller.conditioner.unreachable_drops,
         messages_sent=sim.network.messages_sent,
+        retransmits=sim.network.retransmits,
+        acks_sent=sim.network.acks_sent,
+        dupes_dropped=sim.network.dupes_dropped,
+        suppressed_sends=sim.network.suppressed_sends,
+        dead_endpoint_drops=sim.network.dead_endpoint_drops,
         robustness=report,
     )

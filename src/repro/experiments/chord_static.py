@@ -43,6 +43,15 @@ class StaticChordResult:
     datagrams_sent: int = 0
     #: lookups the timeout sweep abandoned (0 without ``lookup_timeout``)
     lookups_failed: int = 0
+    #: wire-unit counters of the reliability layer (all 0 when
+    #: ``reliable=False``; see net/reliable.py for the counter taxonomy)
+    retransmits: int = 0
+    acks_sent: int = 0
+    dupes_dropped: int = 0
+    suppressed_sends: int = 0
+    dead_endpoint_drops: int = 0
+    #: 99th-percentile of the per-link adaptive RTOs at the end of the run
+    rto_p99: float = 0.0
     #: monitor samples and alarms (None when the run had no monitors)
     robustness: Optional[RobustnessReport] = None
 
@@ -85,6 +94,7 @@ def run_static_experiment(
     shards: int = 1,
     fused: bool = True,
     optimize: bool = True,
+    reliable: bool = False,
     faults=None,
     monitors: Sequence = (),
     monitor_period: float = 10.0,
@@ -112,6 +122,7 @@ def run_static_experiment(
         shards=shards,
         fused=fused,
         optimize=optimize,
+        reliable=reliable,
         faults=faults,
         monitors=monitors,
     )
@@ -171,5 +182,15 @@ def run_static_experiment(
         messages_sent=sim.network.messages_sent,
         datagrams_sent=sim.network.datagrams_sent,
         lookups_failed=len(tracker.failures()),
+        retransmits=sim.network.retransmits,
+        acks_sent=sim.network.acks_sent,
+        dupes_dropped=sim.network.dupes_dropped,
+        suppressed_sends=sim.network.suppressed_sends,
+        dead_endpoint_drops=sim.network.dead_endpoint_drops,
+        rto_p99=(
+            sim.network.reliable_layer.rto_quantile(0.99)
+            if sim.network.reliable_layer is not None
+            else 0.0
+        ),
         robustness=runner.report() if runner.monitors else None,
     )

@@ -15,6 +15,7 @@ from .transport import (
     PACKET_OVERHEAD_BYTES,
     pack_datagrams,
 )
+from .reliable import ReliableConfig, ReliableLayer
 
 __all__ = [
     "Topology",
@@ -23,6 +24,8 @@ __all__ = [
     "LatencyMatrixTopology",
     "Network",
     "NodeTrafficStats",
+    "ReliableConfig",
+    "ReliableLayer",
     "Datagram",
     "pack_datagrams",
     "PACKET_OVERHEAD_BYTES",

@@ -1,0 +1,741 @@
+"""Opt-in reliable delivery over the simulated datagram transport.
+
+The paper's P2 ran its overlays over best-effort UDP: every lost maintenance
+tuple silently degrades the ring until soft-state refresh papers over it.
+This module gives the :class:`~repro.net.transport.Network` a TCP-flavoured
+reliability layer — enabled with ``reliable=True``, threaded through the
+stack exactly like ``batching``/``shards``/``fused``/``optimize`` — while
+keeping the ``reliable=False`` data path byte-identical to the best-effort
+transport (the layer object simply does not exist).
+
+Mechanisms, per directed link:
+
+* **sequence numbers + acks** — every data datagram carries ``(epoch, seq)``
+  from a per-link counter; the receiver acknowledges with a *cumulative* ack
+  (everything ``<= cum`` received) plus a *selective* list of out-of-order
+  sequence numbers.  Acks piggyback on reverse data traffic; a datagram that
+  sees no reverse traffic is acknowledged by a pure-ack wire unit after a
+  deterministic delayed-ack timeout.
+* **retransmission** — a Jacobson/Karn adaptive RTO: per-link SRTT/RTTVAR
+  estimated from acks of never-retransmitted datagrams (Karn's rule),
+  exponential per-datagram backoff with a cap, and a bounded retry budget.
+  Retransmitted datagrams draw fresh loss decisions from the same
+  per-source streams as any other wire unit.
+* **duplicate suppression** — the receiver drops datagrams keyed
+  ``(src, epoch, seq)`` it has already delivered, tracking out-of-order
+  arrivals in a bounded reorder window, so run-to-completion semantics see
+  each tuple exactly once.  Restarted senders get a fresh sequence space
+  through an *epoch* (incarnation) number; a receiver seeing a higher epoch
+  resets its per-link state, and a receiver with no state adopts the first
+  sequence number it sees as its cumulative baseline — self-healing after
+  either endpoint crashes.
+* **accrual failure detection** — each sender link tracks ack interarrival
+  times; when the silence since the last ack exceeds an accrual threshold
+  (a multiple of the observed mean interarrival, floored), or a datagram
+  exhausts its retry budget, the link is *suspected*: its in-flight queue is
+  dropped (counted, not retained unboundedly), new sends are suppressed and
+  counted, and a deterministic probe timer solicits an immediate ack from
+  the peer — the half-open reopen path.  Any ack un-suspects the link.
+
+Determinism rules (the layer must stay bit-identical across ``shards``):
+
+* every timer (delayed ack, retransmit, probe) is an event-loop event on the
+  loop of the node that owns the state it mutates — sender-side state only
+  changes inside the sender's events, receiver-side state inside delivery
+  events on the receiver's loop;
+* acks, probes and retransmissions travel through the network's
+  priority-stamped delivery scheduling (full topology latency, so the
+  sharded driver's lookahead contract holds) and draw loss from the same
+  per-source streams as data, advancing them in per-source event order;
+* the layer introduces **no RNG streams of its own** and never reads a
+  clock other than the owning event loop's;
+* every timer deadline carries a sub-microsecond per-link skew
+  (:func:`_link_skew`, a CRC of the link's addresses — deterministic, not an
+  RNG stream).  The round constants here (0.5s ``rto_min``, 0.1s delayed
+  ack) would otherwise make layer timers land *exactly* on control-loop
+  event instants — e.g. the retransmission of a datagram triggered by a
+  2/s workload tick falls precisely on the next tick — and the relative
+  order of a shard-loop timer and a same-instant control-loop event is
+  insertion order on a single loop but barrier order under sharding.  The
+  skew keeps layer timers off any instant another loop's events can
+  occupy, so that undefined tie never arises.
+
+Counter semantics: ``messages_sent``/``messages_dropped`` keep counting
+*tuples* (a retransmitted tuple was still handed to the network once); the
+new counters — ``retransmits``, ``acks_sent``, ``dupes_dropped``,
+``suppressed_sends`` — count *wire units*.  Pure acks and probes appear in
+``datagrams_sent`` and in byte accounting under the ``"ack"`` category, with
+zero messages, so tuple-level observers are reliability-agnostic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple as PyTuple
+
+from ..sim.event_loop import EventHandle
+from .transport import (
+    Datagram,
+    NodeTrafficStats,
+    PACKET_OVERHEAD_BYTES,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance
+    from .transport import Network
+
+#: Traffic category for pure acks and probes (no tuple to classify); byte
+#: meters filtering on "maintenance"/"lookup" are unaffected by ack traffic.
+ACK_CATEGORY = "ack"
+
+#: Marshaled payload of a pure ack: epoch + cumulative sequence number ...
+ACK_BASE_BYTES = 8
+#: ... plus one entry per selectively-acknowledged sequence number.
+SACK_ENTRY_BYTES = 4
+#: Marshaled payload of a failure-detector probe.
+PROBE_BYTES = 8
+
+
+def _link_skew(src: str, dst: str) -> float:
+    """Deterministic sub-microsecond offset added to this link's timer delays.
+
+    Keeps retransmit/delack/probe firings off the exact instants occupied by
+    other loops' events (workload ticks, fault events), whose order relative
+    to a same-instant shard-loop timer is not defined by the sharded driver's
+    merge contract.  A CRC keyed on the link, not an RNG stream: the same
+    link always gets the same skew, in every run and under any sharding.
+    """
+    return (zlib.crc32(f"{src}->{dst}".encode()) % 1021 + 1) * 1e-9
+
+
+@dataclass(frozen=True)
+class ReliableConfig:
+    """Tuning knobs of the reliability layer (all deterministic constants).
+
+    The defaults are sized for the transit-stub topology: the worst-case
+    round trip (~0.21s cross-domain) plus the delayed ack stays well under
+    ``rto_min``, so a loss-free run never retransmits spuriously; the
+    failure-detector floor keeps an 8-second loss burst (the PR 7 schedule)
+    from being mistaken for a dead peer.
+    """
+
+    #: pure-ack delay: acks not piggybacked within this window go out alone
+    delayed_ack: float = 0.1
+    #: RTO before the first RTT sample on a link
+    rto_initial: float = 1.0
+    #: RTO clamp (min must exceed worst RTT + delayed_ack or loss-free runs
+    #: would retransmit spuriously)
+    rto_min: float = 0.5
+    rto_max: float = 16.0
+    #: per-datagram exponential backoff factor between retransmissions
+    backoff: float = 2.0
+    #: transmissions beyond the first before the link gives up (and is
+    #: suspected dead)
+    max_retries: int = 6
+    #: out-of-order sequence numbers the receiver will hold beyond the
+    #: cumulative ack; datagrams past the window are dropped unacknowledged
+    reorder_window: int = 64
+    #: accrual suspicion: suspect after silence > threshold * mean ack
+    #: interarrival (floored), never sooner than fd_min_silence
+    suspicion_threshold: float = 8.0
+    fd_floor: float = 0.5
+    fd_min_silence: float = 10.0
+    #: ack interarrival samples kept per link
+    fd_history: int = 8
+    #: period of the probe timer on a suspected link (the reopen path)
+    probe_interval: float = 2.0
+
+
+@dataclass
+class _InFlight:
+    """One unacknowledged data datagram on a sender link."""
+
+    seq: int
+    datagram: Datagram
+    #: first transmission time (the Karn-eligible RTT sample base)
+    sent_at: float
+    #: next retransmission deadline
+    deadline: float
+    retries: int = 0
+    retransmitted: bool = False
+
+
+class _SenderLink:
+    """Sender-side state of one directed link; owned by the source's loop."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "epoch",
+        "next_seq",
+        "inflight",
+        "srtt",
+        "rttvar",
+        "rto",
+        "timer",
+        "suspected",
+        "probe_timer",
+        "last_heard",
+        "intervals",
+    )
+
+    def __init__(self, src: str, dst: str, epoch: int, rto_initial: float):
+        self.src = src
+        self.dst = dst
+        self.epoch = epoch
+        self.next_seq = 0
+        #: seq -> _InFlight; insertion order is sequence order
+        self.inflight: Dict[int, _InFlight] = {}
+        self.srtt: Optional[float] = None
+        self.rttvar: float = 0.0
+        self.rto = rto_initial
+        self.timer: Optional[EventHandle] = None
+        self.suspected = False
+        self.probe_timer: Optional[EventHandle] = None
+        #: simulated time of the last ack heard from dst (None: never)
+        self.last_heard: Optional[float] = None
+        #: recent ack interarrival gaps (the accrual detector's history)
+        self.intervals: List[float] = []
+
+
+class _ReceiverLink:
+    """Receiver-side state about one peer; owned by the receiver's loop."""
+
+    __slots__ = ("epoch", "cum", "ooo", "ack_pending", "delack")
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        #: highest seq with everything at or below delivered; None until the
+        #: first datagram of this epoch arrives (its seq becomes the baseline)
+        self.cum: Optional[int] = None
+        #: delivered out-of-order seqs beyond cum (dict used as ordered set)
+        self.ooo: Dict[int, bool] = {}
+        self.ack_pending = False
+        self.delack: Optional[EventHandle] = None
+
+
+#: Ack payload: (sender epoch echoed back, cumulative seq or None, SACK list).
+AckPayload = PyTuple[int, Optional[int], PyTuple[int, ...]]
+
+
+class ReliableLayer:
+    """Ack/retransmit/dedup/failure-detection over one :class:`Network`.
+
+    Constructed by the network when ``reliable=True``; never instantiated on
+    the best-effort path, so ``reliable=False`` stays byte-identical to the
+    pre-reliability transport.
+    """
+
+    def __init__(self, network: "Network", config: Optional[ReliableConfig] = None):
+        self.network = network
+        self.config = config or ReliableConfig()
+        #: (src, dst) -> sender-side link state, owned by src's loop
+        self._senders: Dict[PyTuple[str, str], _SenderLink] = {}
+        #: (owner, peer) -> owner's receiver-side state about peer
+        self._receivers: Dict[PyTuple[str, str], _ReceiverLink] = {}
+        #: per-address send incarnation, bumped by :meth:`peer_up` (restart)
+        self._epochs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ send path
+    def send_tuple(self, src: str, dst: str, tup) -> bool:
+        """Reliable counterpart of :meth:`Network.send` (one-tuple datagram)."""
+        datagram = Datagram()
+        datagram.add(tup, tup.estimate_size(), self.network.classifier(tup))
+        return self._send_datagrams(src, dst, [datagram]) == 1
+
+    def send_train(self, src: str, dst: str, datagrams: List[Datagram]) -> int:
+        """Reliable counterpart of :meth:`Network.send_batch` (packed train)."""
+        return self._send_datagrams(src, dst, datagrams)
+
+    def _send_datagrams(self, src: str, dst: str, datagrams: List[Datagram]) -> int:
+        net = self.network
+        src_loop = net._clock(src)
+        now = src_loop.now
+        stats = net.stats.setdefault(src, NodeTrafficStats())
+        hooks = net._send_hooks
+        known = dst in net._indices
+        link = self._sender(src, dst) if known else None
+        # The accrual check runs once per train (suspicion state only moves
+        # inside the sender's own events, and this *is* one).
+        suppressed = link is not None and self._suspected_now(link, now)
+        ack = self._ack_payload_for(src, dst) if (known and not suppressed) else None
+        cond = net.conditioner
+        reachable = known and (cond is None or cond.reachable(src, dst))
+        if known:
+            delay = net.topology.latency(net._indices[src], net._indices[dst])
+            if cond is not None:
+                delay *= cond.latency_factor
+        else:
+            delay = 0.0
+        sent = 0
+        for datagram in datagrams:
+            count = len(datagram)
+            net.messages_sent += count
+            if hooks:
+                for tup in datagram.tuples:
+                    for hook in hooks:
+                        hook(src, dst, tup, now)
+            if not known:
+                net.datagrams_sent += 1
+                stats.record_tx_datagram(datagram.bytes_by_category, count)
+                net.messages_dropped += count
+                continue
+            if suppressed:
+                # graceful degradation: nothing is marshaled for a suspected
+                # peer — the tuples are counted dropped, not queued
+                net.suppressed_sends += 1
+                net.messages_dropped += count
+                continue
+            net.datagrams_sent += 1
+            stats.record_tx_datagram(datagram.bytes_by_category, count)
+            entry = _InFlight(
+                seq=link.next_seq,
+                datagram=datagram,
+                sent_at=now,
+                deadline=now + link.rto,
+            )
+            link.next_seq += 1
+            link.inflight[entry.seq] = entry
+            self._transmit(link, entry, now, reachable, delay, ack)
+            sent += count
+        if link is not None and not suppressed and link.inflight:
+            self._arm_retransmit(link)
+        return sent
+
+    def _transmit(
+        self,
+        link: _SenderLink,
+        entry: _InFlight,
+        now: float,
+        reachable: bool,
+        delay: float,
+        ack: Optional[AckPayload],
+    ) -> None:
+        """One transmission attempt: partition check, loss draw, delivery."""
+        net = self.network
+        if not reachable:
+            # partition drop before any loss draw — same stream discipline as
+            # the best-effort path (partitions never shift loss streams)
+            if net.conditioner is not None:
+                net.conditioner.unreachable_drops += 1
+            return
+        if net._datagram_lost(link.src, link.dst):
+            return
+        src_loop = net._clock(link.src)
+        net._schedule_delivery(
+            link.src,
+            src_loop,
+            link.dst,
+            now,
+            delay,
+            lambda s=link.src, d=link.dst, e=link.epoch, q=entry.seq, dg=entry.datagram, a=ack: (
+                self._on_data(s, d, e, q, dg, a)
+            ),
+        )
+
+    # ------------------------------------------------------------------ receive path
+    def _on_data(
+        self,
+        src: str,
+        dst: str,
+        epoch: int,
+        seq: int,
+        datagram: Datagram,
+        ack: Optional[AckPayload],
+    ) -> None:
+        """A reliable data datagram arriving at *dst* (on dst's loop)."""
+        net = self.network
+        node = net._endpoint(dst)
+        if node is None:
+            # no acks from the dead: the datagram raced a crash, count the
+            # drop and mutate no receiver state
+            net.dead_endpoint_drops += 1
+            net.messages_dropped += len(datagram)
+            return
+        if ack is not None:
+            self._apply_ack(dst, src, ack)
+        st = self._receivers.get((dst, src))
+        if st is None:
+            st = self._receivers[(dst, src)] = _ReceiverLink(epoch)
+        if epoch < st.epoch:
+            # a datagram from a previous incarnation of src: stale duplicate
+            net.dupes_dropped += 1
+            net.stats.setdefault(dst, NodeTrafficStats()).record_rx_datagram(
+                datagram.bytes_by_category, 0
+            )
+            return
+        if epoch > st.epoch:
+            # src restarted: fresh sequence space, reset in place
+            st.epoch = epoch
+            st.cum = None
+            st.ooo.clear()
+        if st.cum is not None and (seq <= st.cum or seq in st.ooo):
+            # already delivered: suppress, but re-ack (the dup usually means
+            # our ack was lost)
+            net.dupes_dropped += 1
+            net.stats.setdefault(dst, NodeTrafficStats()).record_rx_datagram(
+                datagram.bytes_by_category, 0
+            )
+            self._note_ack_needed(dst, src, st)
+            return
+        if st.cum is not None and seq > st.cum + self.config.reorder_window:
+            # beyond the reorder window: drop unacknowledged so the sender
+            # retries once the window has advanced
+            net.messages_dropped += len(datagram)
+            return
+        if st.cum is None or seq == st.cum + 1:
+            # in order (or the adopted baseline of an unknown epoch)
+            st.cum = seq
+            while st.cum + 1 in st.ooo:
+                st.cum += 1
+                del st.ooo[st.cum]
+        else:
+            st.ooo[seq] = True
+        net.stats.setdefault(dst, NodeTrafficStats()).record_rx_datagram(
+            datagram.bytes_by_category, len(datagram)
+        )
+        # arm the ack before delivering: tuples delivered below may generate
+        # reverse traffic in this very event, which then piggybacks the ack
+        self._note_ack_needed(dst, src, st)
+        receive_batch = getattr(node, "receive_batch", None)
+        if receive_batch is not None:
+            receive_batch(datagram.tuples)
+        else:
+            for tup in datagram.tuples:
+                node.receive(tup)
+
+    # ------------------------------------------------------------------ acks
+    def _note_ack_needed(self, owner: str, peer: str, st: _ReceiverLink) -> None:
+        st.ack_pending = True
+        if st.delack is None:
+            loop = self.network._loops.get(owner) or self.network.loop
+            st.delack = loop.schedule(
+                self.config.delayed_ack + _link_skew(owner, peer),
+                lambda: self._on_delack(owner, peer),
+            )
+
+    def _on_delack(self, owner: str, peer: str) -> None:
+        st = self._receivers.get((owner, peer))
+        if st is None:
+            return
+        st.delack = None
+        if st.ack_pending:
+            self._send_pure_ack(owner, peer, st)
+
+    def _ack_payload_for(self, owner: str, peer: str) -> Optional[AckPayload]:
+        """Current ack state to piggyback on a data send owner -> peer.
+
+        Attaching the ack satisfies the delayed-ack obligation, so the pure
+        ack is canceled; if the carrying datagram is lost, the peer's
+        retransmission produces a duplicate here, which re-arms the ack.
+        """
+        st = self._receivers.get((owner, peer))
+        if st is None:
+            return None
+        st.ack_pending = False
+        if st.delack is not None:
+            st.delack.cancel()
+            st.delack = None
+        return (st.epoch, st.cum, tuple(sorted(st.ooo)))
+
+    def _send_pure_ack(self, owner: str, peer: str, st: _ReceiverLink) -> None:
+        """One pure-ack wire unit owner -> peer (no tuples, 'ack' category)."""
+        net = self.network
+        st.ack_pending = False
+        if st.delack is not None:
+            st.delack.cancel()
+            st.delack = None
+        snapshot: AckPayload = (st.epoch, st.cum, tuple(sorted(st.ooo)))
+        nbytes = (
+            PACKET_OVERHEAD_BYTES + ACK_BASE_BYTES + SACK_ENTRY_BYTES * len(snapshot[2])
+        )
+        net.acks_sent += 1
+        net.datagrams_sent += 1
+        net.stats.setdefault(owner, NodeTrafficStats()).record_tx_datagram(
+            {ACK_CATEGORY: nbytes}, 0
+        )
+        self._control_transmit(
+            owner, peer, lambda o=owner, p=peer, s=snapshot, b=nbytes: self._on_ack(p, o, s, b)
+        )
+
+    def _on_ack(self, owner: str, peer: str, snapshot: AckPayload, nbytes: int) -> None:
+        """A pure ack from *peer* arriving at *owner* (on owner's loop)."""
+        net = self.network
+        if net._endpoint(owner) is None:
+            net.dead_endpoint_drops += 1
+            return
+        net.stats.setdefault(owner, NodeTrafficStats()).record_rx_datagram(
+            {ACK_CATEGORY: nbytes}, 0
+        )
+        self._apply_ack(owner, peer, snapshot)
+
+    def _apply_ack(self, owner: str, peer: str, snapshot: AckPayload) -> None:
+        """Apply ack info to owner's sender link toward *peer* (owner's loop)."""
+        link = self._senders.get((owner, peer))
+        if link is None:
+            return
+        now = self.network._clock(owner).now
+        # Liveness first: any ack — even from a stale epoch — proves the peer
+        # is processing traffic.  Feed the accrual history and reopen.
+        if link.last_heard is not None:
+            gap = now - link.last_heard
+            if gap > 0.0:
+                link.intervals.append(gap)
+                if len(link.intervals) > self.config.fd_history:
+                    del link.intervals[0]
+        link.last_heard = now
+        if link.suspected:
+            link.suspected = False
+            if link.probe_timer is not None:
+                link.probe_timer.cancel()
+                link.probe_timer = None
+        epoch, cum, sacks = snapshot
+        if epoch != link.epoch:
+            return
+        acked = [
+            entry
+            for entry in link.inflight.values()
+            if (cum is not None and entry.seq <= cum) or entry.seq in sacks
+        ]
+        for entry in acked:
+            del link.inflight[entry.seq]
+            if not entry.retransmitted:
+                # Karn's rule: only never-retransmitted datagrams yield
+                # unambiguous RTT samples
+                self._update_rto(link, now - entry.sent_at)
+        self._arm_retransmit(link)
+
+    def _update_rto(self, link: _SenderLink, sample: float) -> None:
+        """Jacobson/Karels SRTT/RTTVAR update, clamped to the RTO bounds."""
+        if sample <= 0.0:
+            return
+        if link.srtt is None:
+            link.srtt = sample
+            link.rttvar = sample / 2.0
+        else:
+            link.rttvar = 0.75 * link.rttvar + 0.25 * abs(link.srtt - sample)
+            link.srtt = 0.875 * link.srtt + 0.125 * sample
+        link.rto = min(
+            max(link.srtt + 4.0 * link.rttvar, self.config.rto_min), self.config.rto_max
+        )
+
+    # ------------------------------------------------------------------ retransmission
+    def _arm_retransmit(self, link: _SenderLink) -> None:
+        """(Re)schedule the link's retransmit timer at the earliest deadline."""
+        if link.timer is not None:
+            link.timer.cancel()
+            link.timer = None
+        if link.suspected or not link.inflight:
+            return
+        deadline = min(entry.deadline for entry in link.inflight.values())
+        loop = self.network._loops.get(link.src) or self.network.loop
+        link.timer = loop.schedule_at(
+            deadline + _link_skew(link.src, link.dst),
+            lambda: self._on_retransmit_timer(link),
+        )
+
+    def _on_retransmit_timer(self, link: _SenderLink) -> None:
+        link.timer = None
+        net = self.network
+        if link.suspected or not link.inflight:
+            return
+        src_loop = net._clock(link.src)
+        now = src_loop.now
+        if self._suspected_now(link, now):
+            return  # accrual detector fired: in-flight wiped, probes armed
+        cond = net.conditioner
+        reachable = cond is None or cond.reachable(link.src, link.dst)
+        delay = net.topology.latency(net._indices[link.src], net._indices[link.dst])
+        if cond is not None:
+            delay *= cond.latency_factor
+        due = [e for e in link.inflight.values() if e.deadline <= now + 1e-9]
+        for entry in due:
+            if entry.retries >= self.config.max_retries:
+                # retry budget exhausted: the peer is presumed dead
+                self._suspect(link, now)
+                return
+            entry.retries += 1
+            entry.retransmitted = True
+            entry.deadline = now + min(
+                link.rto * (self.config.backoff ** entry.retries), self.config.rto_max
+            )
+            net.retransmits += 1
+            net.datagrams_sent += 1
+            net.stats.setdefault(link.src, NodeTrafficStats()).record_tx_datagram(
+                entry.datagram.bytes_by_category, 0
+            )
+            ack = self._ack_payload_for(link.src, link.dst)
+            self._transmit(link, entry, now, reachable, delay, ack)
+        self._arm_retransmit(link)
+
+    # ------------------------------------------------------------------ failure detection
+    def _suspected_now(self, link: _SenderLink, now: float) -> bool:
+        """Evaluate (and possibly raise) suspicion; called on src's loop."""
+        if link.suspected:
+            return True
+        if link.last_heard is None:
+            return False  # never heard anything: only the retry budget condemns
+        if now - link.last_heard > self._silence_threshold(link):
+            self._suspect(link, now)
+            return True
+        return False
+
+    def _silence_threshold(self, link: _SenderLink) -> float:
+        cfg = self.config
+        if link.intervals:
+            mean = sum(link.intervals) / len(link.intervals)
+        else:
+            mean = cfg.fd_floor
+        return max(cfg.suspicion_threshold * max(mean, cfg.fd_floor), cfg.fd_min_silence)
+
+    def _suspect(self, link: _SenderLink, now: float) -> None:
+        """Declare the link's peer suspected-dead; drop queue, start probing."""
+        if link.suspected:
+            return
+        link.suspected = True
+        dropped = sum(len(entry.datagram) for entry in link.inflight.values())
+        if dropped:
+            self.network.messages_dropped += dropped
+        link.inflight.clear()
+        if link.timer is not None:
+            link.timer.cancel()
+            link.timer = None
+        self._arm_probe(link)
+
+    def _arm_probe(self, link: _SenderLink) -> None:
+        loop = self.network._loops.get(link.src) or self.network.loop
+        link.probe_timer = loop.schedule(
+            self.config.probe_interval + _link_skew(link.src, link.dst),
+            lambda: self._on_probe_timer(link),
+        )
+
+    def _on_probe_timer(self, link: _SenderLink) -> None:
+        link.probe_timer = None
+        if not link.suspected:
+            return
+        self._send_probe(link)
+        self._arm_probe(link)
+
+    def _send_probe(self, link: _SenderLink) -> None:
+        """One probe wire unit soliciting an immediate ack (the reopen path)."""
+        net = self.network
+        nbytes = PACKET_OVERHEAD_BYTES + PROBE_BYTES
+        net.datagrams_sent += 1
+        net.stats.setdefault(link.src, NodeTrafficStats()).record_tx_datagram(
+            {ACK_CATEGORY: nbytes}, 0
+        )
+        self._control_transmit(
+            link.src,
+            link.dst,
+            lambda s=link.src, d=link.dst, e=link.epoch, b=nbytes: self._on_probe(s, d, e, b),
+        )
+
+    def _on_probe(self, src: str, dst: str, epoch: int, nbytes: int) -> None:
+        """A probe from *src* arriving at *dst*: answer with an immediate ack."""
+        net = self.network
+        if net._endpoint(dst) is None:
+            net.dead_endpoint_drops += 1
+            return
+        net.stats.setdefault(dst, NodeTrafficStats()).record_rx_datagram(
+            {ACK_CATEGORY: nbytes}, 0
+        )
+        st = self._receivers.get((dst, src))
+        if st is None:
+            st = self._receivers[(dst, src)] = _ReceiverLink(epoch)
+        elif epoch > st.epoch:
+            st.epoch = epoch
+            st.cum = None
+            st.ooo.clear()
+        self._send_pure_ack(dst, src, st)
+
+    def _control_transmit(self, src: str, dst: str, callback) -> None:
+        """Put one control wire unit (ack/probe) on the simulated wire.
+
+        Control datagrams face the same partition checks, loss draws and
+        topology latency as data; they advance the per-source loss streams in
+        the sender's own event order, which the sharded driver preserves.
+        """
+        net = self.network
+        src_loop = net._clock(src)
+        now = src_loop.now
+        cond = net.conditioner
+        if cond is not None and not cond.reachable(src, dst):
+            cond.unreachable_drops += 1
+            return
+        if net._datagram_lost(src, dst):
+            return
+        delay = net.topology.latency(net._indices[src], net._indices[dst])
+        if cond is not None:
+            delay *= cond.latency_factor
+        net._schedule_delivery(src, src_loop, dst, now, delay, callback)
+
+    # ------------------------------------------------------------------ lifecycle
+    def _sender(self, src: str, dst: str) -> _SenderLink:
+        link = self._senders.get((src, dst))
+        if link is None:
+            link = self._senders[(src, dst)] = _SenderLink(
+                src, dst, self._epochs.get(src, 0), self.config.rto_initial
+            )
+        return link
+
+    def peer_down(self, address: str) -> None:
+        """Wipe *address*'s own reliable state in place (crash-stop).
+
+        Only the dead node's state goes: its sender links (timers canceled,
+        in-flight dropped — a dead node retransmits nothing) and its receiver
+        state (a dead node acks nothing).  Peers keep their links *toward*
+        the address and discover the death through the failure detector.
+        """
+        for key in [k for k in self._senders if k[0] == address]:
+            link = self._senders.pop(key)
+            if link.timer is not None:
+                link.timer.cancel()
+            if link.probe_timer is not None:
+                link.probe_timer.cancel()
+        for key in [k for k in self._receivers if k[0] == address]:
+            st = self._receivers.pop(key)
+            if st.delack is not None:
+                st.delack.cancel()
+
+    def peer_up(self, address: str) -> None:
+        """Give a restarting *address* a fresh sequence space (new epoch)."""
+        self._epochs[address] = self._epochs.get(address, 0) + 1
+
+    # ------------------------------------------------------------------ introspection
+    def link_count(self) -> int:
+        return len(self._senders)
+
+    def suspected_links(self) -> List[PyTuple[str, str]]:
+        """Directed links currently suspected dead, sorted for stable output."""
+        return sorted(k for k, link in self._senders.items() if link.suspected)
+
+    def suspicion_of(self, src: str, dst: str, now: float) -> float:
+        """Read-only accrual level of one link: silence / suspicion threshold.
+
+        >= 1.0 means the link is (or is about to be) suspected; 0.0 when the
+        link has no history.  Never mutates state, so monitors may call it.
+        """
+        link = self._senders.get((src, dst))
+        if link is None or link.last_heard is None:
+            return 0.0
+        return (now - link.last_heard) / self._silence_threshold(link)
+
+    def max_suspicion(self, now: float) -> float:
+        levels = [
+            self.suspicion_of(src, dst, now) for src, dst in sorted(self._senders)
+        ]
+        return max(levels) if levels else 0.0
+
+    def inflight_count(self) -> int:
+        return sum(len(link.inflight) for link in self._senders.values())
+
+    def rto_values(self) -> List[float]:
+        """Current per-link RTOs, sorted (for quantile reporting)."""
+        return sorted(link.rto for link in self._senders.values())
+
+    def rto_quantile(self, q: float) -> float:
+        values = self.rto_values()
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(q * len(values)))
+        return values[index]

@@ -39,6 +39,7 @@ from ..core.errors import NetworkError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle avoidance (sim imports net)
     from ..sim.faults import LinkConditioner
+    from .reliable import ReliableConfig, ReliableLayer
 from ..core.tuples import Tuple
 from ..sim.event_loop import EventLoop
 from .topology import Topology, UniformTopology
@@ -181,6 +182,8 @@ class Network:
         seed: int = 0,
         classifier: Optional[Classifier] = None,
         mtu: int = MTU_BYTES,
+        reliable: bool = False,
+        reliable_config: Optional["ReliableConfig"] = None,
     ):
         self.loop = loop
         self.topology = topology or UniformTopology()
@@ -209,6 +212,27 @@ class Network:
         self.messages_sent = 0
         self.messages_dropped = 0
         self.datagrams_sent = 0
+        # Wire-unit counters of the reliability layer (always present, so
+        # observers need no hasattr checks; all stay 0 when reliable=False)
+        # plus dead_endpoint_drops, which both paths maintain: datagrams that
+        # raced a crash and found no live endpoint at delivery time.
+        self.retransmits = 0
+        self.acks_sent = 0
+        self.dupes_dropped = 0
+        self.suppressed_sends = 0
+        self.dead_endpoint_drops = 0
+        # The reliability layer is only constructed when opted into: on the
+        # default path the object does not exist and send()/send_batch()
+        # behave byte-identically to the pre-reliability transport.
+        self.reliable_layer: Optional["ReliableLayer"] = None
+        if reliable:
+            from .reliable import ReliableLayer
+
+            self.reliable_layer = ReliableLayer(self, reliable_config)
+
+    @property
+    def reliable(self) -> bool:
+        return self.reliable_layer is not None
 
     # -- membership ----------------------------------------------------------------
     def register(self, node: Endpoint) -> int:
@@ -347,6 +371,8 @@ class Network:
         """
         if src not in self._indices:
             raise NetworkError(f"unknown source address {src!r}")
+        if self.reliable_layer is not None:
+            return self.reliable_layer.send_tuple(src, dst, tup)
         src_loop = self._clock(src)
         now = src_loop.now
         self.messages_sent += 1
@@ -399,6 +425,10 @@ class Network:
             # same bytes, same loss draw — skip the packing machinery (most
             # idle-maintenance rounds emit a single tuple per destination)
             return 1 if self.send(src, dst, batch[0]) else 0
+        if self.reliable_layer is not None:
+            return self.reliable_layer.send_train(
+                src, dst, pack_datagrams(batch, self.classifier, self.mtu)
+            )
         stats = self.stats.setdefault(src, NodeTrafficStats())
         src_loop = self._clock(src)
         now = src_loop.now
@@ -461,6 +491,9 @@ class Network:
     def _deliver(self, dst: str, tup: Tuple, size: int, category: str) -> None:
         node = self._endpoint(dst)
         if node is None:
+            # the datagram raced a crash/unregister: a drop with its own
+            # counter, distinguishable from loss and partition drops
+            self.dead_endpoint_drops += 1
             self.messages_dropped += 1
             return
         self.stats.setdefault(dst, NodeTrafficStats()).record_rx(size, category)
@@ -469,6 +502,7 @@ class Network:
     def _deliver_datagram(self, dst: str, datagram: Datagram) -> None:
         node = self._endpoint(dst)
         if node is None:
+            self.dead_endpoint_drops += 1
             self.messages_dropped += len(datagram)
             return
         self.stats.setdefault(dst, NodeTrafficStats()).record_rx_datagram(
@@ -480,6 +514,25 @@ class Network:
         else:
             for tup in datagram.tuples:
                 node.receive(tup)
+
+    # -- reliability lifecycle -----------------------------------------------------------
+    def endpoint_down(self, address: str) -> None:
+        """Tell the reliability layer *address* crash-stopped (no-op otherwise).
+
+        The dead node's own reliable state — in-flight queues, timers,
+        receiver windows — is wiped in place: no acks from the dead.
+        """
+        if self.reliable_layer is not None:
+            self.reliable_layer.peer_down(address)
+
+    def endpoint_up(self, address: str) -> None:
+        """Tell the reliability layer *address* restarted (no-op otherwise).
+
+        The node's send epoch is bumped so its fresh sequence space is never
+        confused with the previous incarnation's.
+        """
+        if self.reliable_layer is not None:
+            self.reliable_layer.peer_up(address)
 
     # -- aggregate statistics ------------------------------------------------------------
     def total_tx_bytes(self, category: Optional[str] = None) -> int:

@@ -322,6 +322,7 @@ def build_chord_network(
     shards: int = 1,
     fused: bool = True,
     optimize: bool = True,
+    reliable: bool = False,
     faults=None,
     monitors: Sequence = (),
 ) -> ChordNetwork:
@@ -352,6 +353,7 @@ def build_chord_network(
             shards=shards,
             fused=fused,
             optimize=optimize,
+            reliable=reliable,
         )
     network = ChordNetwork(simulation=simulation, landmark="")
     for i in range(num_nodes):

@@ -118,6 +118,9 @@ class P2Node:
             # crash-stop: anything still buffered never reaches the wire
             self.transmit.clear()
         self.network.set_alive(self.address, False)
+        # Wipe this node's reliability-layer state in place (no-op on the
+        # best-effort path): a dead node retransmits nothing and acks nothing.
+        self.network.endpoint_down(self.address)
 
     def crash(self) -> None:
         """Hard-kill the node: :meth:`fail` plus soft-state loss.
@@ -156,6 +159,10 @@ class P2Node:
         self._dirty_continuous.clear()
         self._dirty_set.clear()
         self.network.set_alive(self.address, True)
+        # New incarnation: the reliability layer (if any) gives the reborn
+        # node a fresh sequence space so receivers reset rather than confuse
+        # its counters with the previous life's.
+        self.network.endpoint_up(self.address)
         self.boot()
 
     def now(self) -> float:

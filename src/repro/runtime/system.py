@@ -52,6 +52,7 @@ class OverlaySimulation:
         shards: int = 1,
         fused: bool = True,
         optimize: bool = True,
+        reliable: bool = False,
         faults: Optional[FaultSchedule] = None,
         monitors: Sequence[Monitor] = (),
     ):
@@ -70,6 +71,7 @@ class OverlaySimulation:
             loss_rate=loss_rate,
             seed=seed,
             classifier=classifier,
+            reliable=reliable,
         )
         self.idspace = IdSpace(bits=id_bits)
         self.seed = seed
@@ -82,6 +84,9 @@ class OverlaySimulation:
         #: whether node plans come from the cost-based optimizer (the
         #: default) or the naive body-order walk (the plan-level oracle)
         self.optimize = optimize
+        #: whether the network runs the ack/retransmit reliability layer
+        #: (net/reliable.py); False — the default — is best-effort datagrams
+        self.reliable = reliable
         self._rng = random.Random(seed)
         self.nodes: Dict[str, P2Node] = {}
         self._counter = 0
@@ -239,6 +244,7 @@ def transit_stub_simulation(
     shards: int = 1,
     fused: bool = True,
     optimize: bool = True,
+    reliable: bool = False,
     faults: Optional[FaultSchedule] = None,
     monitors: Sequence[Monitor] = (),
 ) -> OverlaySimulation:
@@ -254,6 +260,7 @@ def transit_stub_simulation(
         shards=shards,
         fused=fused,
         optimize=optimize,
+        reliable=reliable,
         faults=faults,
         monitors=monitors,
     )

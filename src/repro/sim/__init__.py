@@ -18,6 +18,7 @@ from .faults import (
 )
 from .metrics import BandwidthMeter, ConsistencyOracle, LookupRecord, LookupTracker
 from .monitors import (
+    FailureDetectorMonitor,
     LookupHealthMonitor,
     Monitor,
     MonitorAlarm,
@@ -59,6 +60,7 @@ __all__ = [
     "MonitorRunner",
     "Observation",
     "RingInvariantMonitor",
+    "FailureDetectorMonitor",
     "StagnationMonitor",
     "LookupHealthMonitor",
     "RobustnessReport",

@@ -33,6 +33,7 @@ by stable identifiers, never by execution order.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 from typing import (
@@ -291,7 +292,13 @@ class FaultEvent:
             raise SimulationError(f"fault event time must be >= 0, got {self.at}")
 
     def as_dict(self) -> Dict[str, Any]:
-        return {"at": self.at, "action": self.action, **dict(self.params)}
+        """A JSON-safe plain-dict form, the inverse of
+        :meth:`FaultSchedule.from_dicts` (dataclass params like the
+        Gilbert–Elliott model become plain dicts)."""
+        row: Dict[str, Any] = {"at": self.at, "action": self.action}
+        for key, value in self.params.items():
+            row[key] = dataclasses.asdict(value) if dataclasses.is_dataclass(value) else value
+        return row
 
 
 FAULT_ACTIONS = frozenset(
@@ -394,7 +401,10 @@ class FaultSchedule:
                 row["model"] = GilbertElliott(**row["model"])
             builder = _BUILDERS.get(action)
             if builder is None:
-                raise SimulationError(f"unknown fault action {action!r}")
+                raise ValueError(
+                    f"unknown fault action {action!r}; "
+                    f"valid actions: {sorted(FAULT_ACTIONS)}"
+                )
             events.append(builder(at, **row))
         return cls(events)
 

@@ -21,6 +21,9 @@ Shipped monitors:
   over a probe window;
 * :class:`LookupHealthMonitor` — service health: windowed lookup failure
   rate and consistency, with thresholds.
+* :class:`FailureDetectorMonitor` — transport health: the reliability
+  layer's accrual suspicion levels, suspected links, and retransmit /
+  suppression counters (a no-op sample when the run is best-effort).
 """
 
 from __future__ import annotations
@@ -315,6 +318,65 @@ class StagnationMonitor:
                     "stagnation",
                     "no watched counter advanced over the last probe window: "
                     + ", ".join(sorted(self._counters)),
+                )
+            )
+        return Observation(sample, alarms)
+
+
+# ---------------------------------------------------------------------------
+# Transport failure detection
+# ---------------------------------------------------------------------------
+
+
+class FailureDetectorMonitor:
+    """Samples the reliability layer's accrual failure detector.
+
+    Accepts anything that leads to a :class:`~repro.net.transport.Network`:
+    the network itself, an :class:`~repro.runtime.system.OverlaySimulation`,
+    or an overlay harness like ``ChordNetwork`` (so, like
+    ``RingInvariantMonitor``, the class itself can be passed to
+    ``build_chord_network(monitors=...)`` as a factory).  Each probe samples
+    the number of tracked links, the suspected links, the maximum accrual
+    suspicion level, and the layer's wire-unit counters; on a best-effort
+    run (``reliable=False``) the sample just records that.  Purely
+    read-only: suspicion levels are computed without mutating link state.
+    """
+
+    def __init__(self, network, name: str = "failure_detector", alarm_on_suspicion: bool = True):
+        self.name = name
+        self._source = network
+        self._alarm_on_suspicion = alarm_on_suspicion
+
+    def _network(self):
+        obj = self._source
+        obj = getattr(obj, "simulation", obj)  # ChordNetwork -> OverlaySimulation
+        return getattr(obj, "network", obj)  # OverlaySimulation -> Network
+
+    def observe(self, now: float) -> Observation:
+        network = self._network()
+        layer = getattr(network, "reliable_layer", None)
+        if layer is None:
+            return Observation({"reliable": False})
+        suspected = layer.suspected_links()
+        sample = {
+            "reliable": True,
+            "links": layer.link_count(),
+            "suspected": len(suspected),
+            "max_suspicion": layer.max_suspicion(now),
+            "inflight": layer.inflight_count(),
+            "retransmits": network.retransmits,
+            "suppressed_sends": network.suppressed_sends,
+        }
+        alarms: List[MonitorAlarm] = []
+        if self._alarm_on_suspicion and suspected:
+            shown = ", ".join(f"{s}->{d}" for s, d in suspected[:4])
+            more = f" (+{len(suspected) - 4} more)" if len(suspected) > 4 else ""
+            alarms.append(
+                MonitorAlarm(
+                    self.name,
+                    now,
+                    "suspected-links",
+                    f"{len(suspected)} link(s) suspect their peer dead: {shown}{more}",
                 )
             )
         return Observation(sample, alarms)

@@ -635,6 +635,51 @@ class TestCli:
 # ---------------------------------------------------------------------------
 
 
+class TestReliableLayerPatterns:
+    """The idioms net/reliable.py leans on must stay exactly on the line the
+    linter draws: ordered structures through emit-reaching timer closures are
+    clean, raw set iteration on the same path is not."""
+
+    DELAYED_ACK_PATTERN = """\
+        class ReceiverState:
+            def __init__(self):
+                self.ooo = {}          # dict as ordered set: insertion-ordered
+                self.ack_pending = False
+                self.delack = None
+
+        class Layer:
+            def on_data(self, owner, peer, seq):
+                st = self.receivers[(owner, peer)]
+                st.ooo[seq] = True
+                st.ack_pending = True
+                if st.delack is None:
+                    # the delayed-ack timer: an emit-reaching closure armed on
+                    # the owner's loop, firing a pure ack later
+                    st.delack = self.loop.schedule(
+                        0.1, lambda: self.on_delack(owner, peer)
+                    )
+
+            def on_delack(self, owner, peer):
+                st = self.receivers[(owner, peer)]
+                st.delack = None
+                if st.ack_pending:
+                    sacks = tuple(sorted(st.ooo))
+                    self.network.send(peer, sacks)
+        """
+
+    def test_delayed_ack_timer_pattern_is_clean(self):
+        assert lint(self.DELAYED_ACK_PATTERN) == []
+
+    def test_same_pattern_with_raw_set_is_flagged(self):
+        tainted = self.DELAYED_ACK_PATTERN.replace(
+            "sacks = tuple(sorted(st.ooo))",
+            "pending = {s for s in st.ooo}\n                    sacks = tuple(pending)",
+        )
+        diags = lint(tainted)
+        assert codes(diags) == ["DET004"]
+        assert diags[0].subject == "pending"
+
+
 class TestSelfLint:
     def test_src_repro_and_benchmarks_strict_clean(self):
         results = lint_paths(

@@ -17,6 +17,7 @@ Five layers:
   actually reconverge (slow).
 """
 
+import json
 import random
 
 import pytest
@@ -249,8 +250,60 @@ class TestFaultSchedule:
             [{"at": 3.0, "action": "burst_loss", "model": {"loss_bad": 0.5}, "duration": 2.0}]
         )
         assert schedule.events[0].params["model"] == GilbertElliott(loss_bad=0.5)
-        with pytest.raises(SimulationError):
+        with pytest.raises(ValueError, match=r"'nope'.*valid actions.*burst_loss"):
             FaultSchedule.from_dicts([{"at": 1.0, "action": "nope"}])
+
+    def test_as_dicts_is_json_safe_and_round_trips_exactly(self):
+        """Property test: random schedules survive as_dicts -> JSON ->
+        from_dicts with event-level equality (the model objects included)."""
+        rng = random.Random(2024)
+        addresses = [f"n{i}" for i in range(6)]
+        for _ in range(25):
+            events = []
+            for _ in range(rng.randint(1, 8)):
+                at = round(rng.uniform(0.0, 100.0), 3)
+                kind = rng.choice(
+                    ["partition", "heal", "burst_loss", "clear_burst_loss",
+                     "latency_spike", "crash", "restart"]
+                )
+                if kind == "partition":
+                    cut = rng.randint(1, len(addresses) - 1)
+                    events.append(
+                        faults.partition(at, [addresses[:cut], addresses[cut:]])
+                    )
+                elif kind == "heal":
+                    events.append(faults.heal(at))
+                elif kind == "burst_loss":
+                    model = GilbertElliott(
+                        p_enter_bad=round(rng.uniform(0.01, 0.5), 3),
+                        p_exit_bad=round(rng.uniform(0.1, 0.9), 3),
+                        loss_bad=round(rng.uniform(0.1, 1.0), 3),
+                    )
+                    src = rng.sample(addresses, rng.randint(1, 3)) if rng.random() < 0.5 else None
+                    events.append(
+                        faults.burst_loss(
+                            at,
+                            model,
+                            src_set=src,
+                            duration=round(rng.uniform(0.5, 20.0), 3),
+                        )
+                    )
+                elif kind == "clear_burst_loss":
+                    events.append(faults.clear_burst_loss(at))
+                elif kind == "latency_spike":
+                    events.append(
+                        faults.latency_spike(
+                            at,
+                            factor=round(rng.uniform(1.0, 4.0), 3),
+                            duration=round(rng.uniform(0.5, 10.0), 3),
+                        )
+                    )
+                else:
+                    events.append(getattr(faults, kind)(at, rng.choice(addresses)))
+            schedule = FaultSchedule(events)
+            wire = json.dumps(schedule.as_dicts())  # must not raise: JSON-safe
+            rebuilt = FaultSchedule.from_dicts(json.loads(wire))
+            assert rebuilt.events == schedule.events
 
 
 # ---------------------------------------------------------------------------
